@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries: the
+ * application list, environment-variable overrides, and campaign
+ * helpers.
+ *
+ * Environment knobs (all optional):
+ *   CORD_SCALE       workload input scale      (default 2)
+ *   CORD_INJECTIONS  injections per app        (default 30)
+ *   CORD_SEED        campaign base seed        (default 1)
+ *   CORD_APPS        comma-separated app list  (default: all 12)
+ */
+
+#ifndef CORD_BENCH_COMMON_H
+#define CORD_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/table.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace bench
+{
+
+inline unsigned
+envUnsigned(const char *name, unsigned dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+inline std::vector<std::string>
+appList()
+{
+    const char *v = std::getenv("CORD_APPS");
+    if (!v || !*v)
+        return workloadNames();
+    std::vector<std::string> apps;
+    std::string cur;
+    for (const char *p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                apps.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return apps;
+}
+
+/** Standard campaign configuration for one app. */
+inline CampaignConfig
+campaignFor(const std::string &app)
+{
+    CampaignConfig cfg;
+    cfg.workload = app;
+    cfg.params.numThreads = 4;
+    cfg.params.scale = envUnsigned("CORD_SCALE", 2);
+    cfg.params.seed = envUnsigned("CORD_SEED", 1) * 7 + 5;
+    cfg.injections = envUnsigned("CORD_INJECTIONS", 30);
+    cfg.seed = envUnsigned("CORD_SEED", 1) * 101 + 13;
+    return cfg;
+}
+
+/** Run the same campaign for every app; returns per-app results. */
+inline std::vector<std::pair<std::string, CampaignResult>>
+runAllCampaigns(const std::vector<DetectorSpec> &specs)
+{
+    std::vector<std::pair<std::string, CampaignResult>> out;
+    for (const std::string &app : appList()) {
+        std::fprintf(stderr, "  [campaign] %s...\n", app.c_str());
+        out.emplace_back(app, runCampaign(campaignFor(app), specs));
+    }
+    return out;
+}
+
+/** Average of a per-app metric (simple mean, as the paper's bars). */
+template <typename Fn>
+double
+averageOver(const std::vector<std::pair<std::string, CampaignResult>> &rs,
+            Fn &&metric)
+{
+    if (rs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[app, r] : rs)
+        sum += metric(r);
+    return sum / static_cast<double>(rs.size());
+}
+
+} // namespace bench
+} // namespace cord
+
+#endif // CORD_BENCH_COMMON_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11 reproduction: execution time with CORD relative to a
+ * baseline machine with no order-recording and no data race detection
+ * support.
+ *
+ * Paper finding: 0.4% average overhead, 3% worst case (cholesky, whose
+ * frequent synchronization causes bursts of timestamp removals and
+ * race check requests on the half-speed address/timestamp bus).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cord;
+
+int
+main()
+{
+    std::printf("CORD reproduction -- Figure 11\n");
+    TextTable t({"App", "Baseline(cyc)", "CORD(cyc)", "Relative",
+                 "RaceChecks", "MemTsUpd"});
+    double sum = 0.0;
+    double worst = 0.0;
+    std::string worstApp;
+    const auto apps = bench::appList();
+    for (const std::string &app : apps) {
+        std::fprintf(stderr, "  [perf] %s...\n", app.c_str());
+        WorkloadParams params;
+        params.numThreads = 4;
+        params.scale = bench::envUnsigned("CORD_SCALE", 2);
+        params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
+        MachineConfig machine;
+        machine.computeScale =
+            bench::envUnsigned("CORD_COMPUTE_SCALE", 256);
+        CordConfig cord;
+        const PerfPoint p = runPerf(app, params, machine, cord);
+        t.addRow({app, std::to_string(p.baselineTicks),
+                  std::to_string(p.cordTicks),
+                  TextTable::percent(p.relative(), 2),
+                  std::to_string(p.raceCheckTraffic),
+                  std::to_string(p.memTsTraffic)});
+        sum += p.relative();
+        if (p.relative() > worst) {
+            worst = p.relative();
+            worstApp = app;
+        }
+    }
+    t.addRow({"Average", "", "",
+              TextTable::percent(sum / apps.size(), 2), "", ""});
+    t.print("Figure 11: execution time with CORD relative to baseline");
+    std::printf("Worst case: %s at %s (paper: cholesky at 103%%)\n",
+                worstApp.c_str(), TextTable::percent(worst, 2).c_str());
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Design-space exploration beyond the paper's figures: CORD's problem
+ * detection rate as a function of (a) history residency capacity
+ * (paper fixes 8KB L1 / 32KB L2) and (b) the sync-read margin D at a
+ * finer grain than Figure 16's {1,4,16,256}.  Run on a representative
+ * app subset (override with CORD_APPS).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+
+using namespace cord;
+
+namespace
+{
+
+std::vector<std::string>
+sensitivityApps()
+{
+    if (std::getenv("CORD_APPS"))
+        return bench::appList();
+    return {"cholesky", "fft", "lu", "water-sp"};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CORD reproduction -- sensitivity sweeps (extension)\n");
+
+    // Sweep 1: residency capacity at fixed D = 16.
+    struct Cap
+    {
+        const char *label;
+        bool infinite;
+        std::uint32_t kb;
+        std::uint32_t ways;
+    };
+    const Cap caps[] = {
+        {"4KB", false, 4, 2},   {"8KB", false, 8, 2},
+        {"16KB", false, 16, 4}, {"32KB", false, 32, 4},
+        {"64KB", false, 64, 8}, {"inf", true, 0, 0},
+    };
+    std::vector<DetectorSpec> capSpecs;
+    for (const Cap &c : caps) {
+        CordConfig cfg;
+        cfg.d = 16;
+        cfg.infiniteResidency = c.infinite;
+        if (!c.infinite)
+            cfg.residency = CacheGeometry{c.kb * 1024, 64, c.ways};
+        capSpecs.push_back(cordSpecWith(cfg, c.label));
+    }
+
+    std::vector<std::pair<std::string, CampaignResult>> capResults;
+    for (const std::string &app : sensitivityApps()) {
+        std::fprintf(stderr, "  [capacity] %s...\n", app.c_str());
+        capResults.emplace_back(app,
+                                runCampaign(bench::campaignFor(app),
+                                            capSpecs));
+    }
+    {
+        std::vector<std::string> headers{"App"};
+        for (const Cap &c : caps)
+            headers.push_back(c.label);
+        TextTable t(headers);
+        for (const auto &[app, r] : capResults) {
+            std::vector<std::string> row{app};
+            for (const Cap &c : caps)
+                row.push_back(
+                    TextTable::percent(r.problemRateVsIdeal(c.label)));
+            t.addRow(row);
+        }
+        std::vector<std::string> avg{"Average"};
+        for (const Cap &c : caps) {
+            avg.push_back(TextTable::percent(bench::averageOver(
+                capResults, [&](const CampaignResult &r) {
+                    return r.problemRateVsIdeal(c.label);
+                })));
+        }
+        t.addRow(avg);
+        t.print("Sensitivity: problem detection vs Ideal over history "
+                "capacity (D=16)");
+    }
+
+    // Sweep 2: fine-grained D at the paper's L2 residency.
+    const std::uint32_t ds[] = {1, 2, 4, 8, 16, 32, 64, 128};
+    std::vector<DetectorSpec> dSpecs;
+    for (std::uint32_t d : ds)
+        dSpecs.push_back(cordSpec(d));
+    std::vector<std::pair<std::string, CampaignResult>> dResults;
+    for (const std::string &app : sensitivityApps()) {
+        std::fprintf(stderr, "  [D sweep] %s...\n", app.c_str());
+        dResults.emplace_back(app, runCampaign(bench::campaignFor(app),
+                                               dSpecs));
+    }
+    {
+        std::vector<std::string> headers{"App"};
+        for (std::uint32_t d : ds)
+            headers.push_back("D" + std::to_string(d));
+        TextTable t(headers);
+        for (const auto &[app, r] : dResults) {
+            std::vector<std::string> row{app};
+            for (std::uint32_t d : ds)
+                row.push_back(TextTable::percent(r.problemRateVsIdeal(
+                    "CORD-D" + std::to_string(d))));
+            t.addRow(row);
+        }
+        std::vector<std::string> avg{"Average"};
+        for (std::uint32_t d : ds) {
+            const std::string label = "CORD-D" + std::to_string(d);
+            avg.push_back(TextTable::percent(bench::averageOver(
+                dResults, [&](const CampaignResult &r) {
+                    return r.problemRateVsIdeal(label);
+                })));
+        }
+        t.addRow(avg);
+        t.print("Sensitivity: problem detection vs Ideal over D "
+                "(paper picks D=16)");
+    }
+    return 0;
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Custom workload: plugging your own application into the framework.
+ *
+ * Implements a bounded producer/consumer pipeline (a sync idiom not in
+ * the SPLASH-2 set) as a Workload subclass, then runs it through the
+ * same harness used by the paper's experiments: a clean run verifying
+ * data-race-freedom, and an injected run showing CORD catching the
+ * race created by a removed lock.
+ */
+
+#include <cstdio>
+
+#include "cord/cord_detector.h"
+#include "cord/ideal_detector.h"
+#include "harness/runner.h"
+#include "inject/injector.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+using namespace cord;
+
+namespace
+{
+
+/**
+ * Two producers fill a lock-protected bounded buffer with items; two
+ * consumers drain it and fold the items into private sums, publishing
+ * them under a results lock at the end.
+ */
+class Pipeline final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "pipeline", "(custom)",
+            "2 producers + 2 consumers over a 16-slot bounded buffer",
+            "buffer lock + results lock + completion flags"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        itemsPerProducer_ = 48 * p.scale;
+        buffer_ = patterns::SharedStack::make(as, 16);
+        resultsLock_ = as.allocSync();
+        results_ = as.allocSharedLineAligned(4);
+        producersDone_ = as.allocSync();
+        doneLock_ = as.allocSync();
+        doneCount_ = as.allocSharedLineAligned(1);
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return ctx.tid < 2 ? producer(rt, ctx) : consumer(rt, ctx);
+    }
+
+  private:
+    Task<void>
+    producer(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        for (unsigned i = 0; i < itemsPerProducer_;) {
+            // Busy-retry when the buffer is full.
+            co_await rt.lock(ctx, buffer_.lock);
+            const std::uint64_t h =
+                (co_await opLoad(buffer_.head)).value;
+            bool pushed = false;
+            if (h < buffer_.capacity) {
+                co_await opStore(buffer_.slots + h * kWordBytes,
+                                 ctx.tid * 1000 + i);
+                co_await opStore(buffer_.head, h + 1);
+                pushed = true;
+            }
+            co_await rt.unlock(ctx, buffer_.lock);
+            if (pushed)
+                ++i;
+            co_await opCompute(30);
+        }
+        // Signal completion: bump the done count under its lock; the
+        // last producer raises the flag.
+        co_await rt.lock(ctx, doneLock_);
+        const std::uint64_t d = (co_await opLoad(doneCount_)).value + 1;
+        co_await opStore(doneCount_, d);
+        co_await rt.unlock(ctx, doneLock_);
+        if (d == 2)
+            co_await rt.flagSet(ctx, producersDone_, 1);
+    }
+
+    Task<void>
+    consumer(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        std::uint64_t sum = 0;
+        std::uint64_t drained = 0;
+        bool producersFinished = false;
+        for (;;) {
+            const std::uint64_t v =
+                co_await patterns::stackPop(rt, ctx, buffer_);
+            if (v != patterns::kStackEmpty) {
+                sum += v;
+                ++drained;
+                co_await opCompute(40);
+                continue;
+            }
+            if (producersFinished)
+                break;
+            // Empty: check (without blocking forever) whether the
+            // producers are done; one more drain pass follows.
+            const OpResult f = co_await opSyncLoad(producersDone_);
+            producersFinished = f.value == 1;
+            co_await opCompute(25);
+        }
+        co_await rt.lock(ctx, resultsLock_);
+        co_await patterns::bumpWords(results_, 2, sum & 0xffff);
+        co_await patterns::bumpWords(results_ + 2 * kWordBytes, 1,
+                                     drained);
+        co_await rt.unlock(ctx, resultsLock_);
+    }
+
+    WorkloadParams params_;
+    unsigned itemsPerProducer_ = 0;
+    patterns::SharedStack buffer_;
+    Addr resultsLock_ = 0;
+    Addr results_ = 0;
+    Addr producersDone_ = 0;
+    Addr doneLock_ = 0;
+    Addr doneCount_ = 0;
+};
+
+/** Run the pipeline once with the given filter and detectors. */
+RunOutcome
+runPipeline(SyncInstanceFilter *filter,
+            const std::vector<Detector *> &detectors)
+{
+    // The harness' runWorkload() resolves workloads by name from the
+    // built-in registry; for a custom workload we wire the pieces up
+    // directly, which is the same ~20 lines.
+    Pipeline wl;
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.scale = 1;
+    params.seed = 7;
+    AddressSpace as;
+    wl.setup(params, as);
+    SyncRuntime rt(filter);
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    MachineConfig machine;
+    Simulation sim(machine, params.numThreads);
+    for (Detector *d : detectors)
+        sim.addDetector(d);
+    for (unsigned t = 0; t < params.numThreads; ++t) {
+        ctxs.push_back(std::make_unique<ThreadCtx>());
+        ctxs.back()->tid = static_cast<ThreadId>(t);
+        ctxs.back()->rng.reseed(1000 + t);
+        sim.spawn(static_cast<ThreadId>(t), wl.body(rt, *ctxs.back()));
+    }
+    RunOutcome out;
+    out.completed = sim.run(2000000000ULL);
+    out.ticks = sim.events().now();
+    out.accesses = sim.committedAccesses();
+    out.syncCensus = rt.perThreadInstances();
+    out.syncCensus.resize(params.numThreads, 0);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Clean run: the pipeline must be data-race-free.
+    IdealDetector ideal(4);
+    CordConfig cc;
+    CordDetector cord(cc);
+    const RunOutcome clean = runPipeline(nullptr, {&ideal, &cord});
+    std::printf("clean pipeline run: %llu accesses, %llu sync "
+                "instances\n",
+                static_cast<unsigned long long>(clean.accesses),
+                static_cast<unsigned long long>(
+                    clean.totalInstances()));
+    std::printf("  Ideal races: %llu, CORD races: %llu "
+                "(both must be 0)\n",
+                static_cast<unsigned long long>(ideal.races().pairs()),
+                static_cast<unsigned long long>(cord.races().pairs()));
+
+    // Injected run: remove consumer thread 2's first buffer-lock
+    // acquisition -- its unlocked pop races with everyone.
+    RemoveOneInstance filter({2, 0});
+    IdealDetector ideal2(4);
+    CordDetector cord2(cc);
+    const RunOutcome buggy = runPipeline(&filter, {&ideal2, &cord2});
+    std::printf("\ninjected run (thread 2's first lock removed): "
+                "completed=%d\n", buggy.completed);
+    std::printf("  Ideal sees %llu races; CORD reports %llu\n",
+                static_cast<unsigned long long>(ideal2.races().pairs()),
+                static_cast<unsigned long long>(
+                    cord2.races().pairs()));
+    const bool ok = ideal.races().pairs() == 0 &&
+                    cord.races().pairs() == 0;
+    return ok ? 0 : 1;
+}

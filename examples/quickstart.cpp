@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Quickstart: the smallest complete use of the library.
+ *
+ * Builds a two-thread program by hand (no workload framework), runs it
+ * on the simulated CMP with CORD attached, prints the data races CORD
+ * found and the execution-order log it recorded, and finally replays
+ * the run to show deterministic replay in action.
+ *
+ * The program contains a deliberate bug: thread 1 reads the shared
+ * result *without* taking the lock that protects it.
+ */
+
+#include <cstdio>
+
+#include "cord/cord_detector.h"
+#include "cord/replay.h"
+#include "cpu/simulation.h"
+#include "runtime/address_space.h"
+#include "runtime/sync.h"
+
+using namespace cord;
+
+namespace
+{
+
+struct Shared
+{
+    Addr lock = 0;
+    Addr result = 0; //!< 4 words, protected by `lock`
+    Addr done = 0;   //!< flag
+};
+
+/** Thread 0: produce the result under the lock, then raise the flag. */
+Task<void>
+producer(SyncRuntime &rt, ThreadCtx &ctx, const Shared &sh)
+{
+    co_await rt.lock(ctx, sh.lock);
+    for (unsigned i = 0; i < 4; ++i)
+        co_await opStore(sh.result + i * kWordBytes, 100 + i);
+    co_await rt.unlock(ctx, sh.lock);
+    co_await opCompute(50);
+    co_await rt.flagSet(ctx, sh.done, 1);
+}
+
+/** Thread 1: BUG -- reads the result without the protecting lock and
+ *  without waiting for the flag. */
+Task<void>
+racyConsumer(SyncRuntime &rt, ThreadCtx &ctx, const Shared &sh)
+{
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        sum += (co_await opLoad(sh.result + i * kWordBytes)).value;
+    co_await opCompute(static_cast<std::uint32_t>(sum % 64) + 1);
+    // A correct consumer would have done:
+    //   co_await rt.flagWait(ctx, sh.done, 1);
+    //   co_await rt.lock(ctx, sh.lock); ... co_await rt.unlock(...);
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Lay out the shared address space.
+    AddressSpace as;
+    Shared sh;
+    sh.lock = as.allocSync();
+    sh.done = as.allocSync();
+    sh.result = as.allocSharedLineAligned(4);
+
+    // 2. Create the machine (the paper's 4-core CMP) and CORD.
+    MachineConfig machine;
+    CordConfig cordCfg; // defaults: D = 16, 2 timestamps/line, 32KB L2
+    cordCfg.numThreads = 2;
+    CordDetector cord(cordCfg);
+
+    Simulation sim(machine, /*numThreads=*/2);
+    sim.addDetector(&cord);
+
+    // 3. Spawn the two threads and run.
+    SyncRuntime rt;
+    ThreadCtx ctx0;
+    ThreadCtx ctx1;
+    ctx1.tid = 1;
+    sim.spawn(0, producer(rt, ctx0, sh));
+    sim.spawn(1, racyConsumer(rt, ctx1, sh));
+    sim.run();
+
+    // 4. Report what CORD observed.
+    std::printf("execution finished at tick %llu, %llu accesses\n",
+                static_cast<unsigned long long>(sim.finishTick()),
+                static_cast<unsigned long long>(sim.committedAccesses()));
+    std::printf("data races detected: %llu (on %zu distinct words)\n",
+                static_cast<unsigned long long>(cord.races().pairs()),
+                cord.races().words().size());
+    for (const RaceRecord &r : cord.races().samples()) {
+        std::printf("  race: thread %u %s word 0x%llx at tick %llu "
+                    "(clock %llu vs timestamp %llu)\n",
+                    r.accessor, r.kind == AccessKind::DataWrite
+                                    ? "wrote" : "read",
+                    static_cast<unsigned long long>(r.addr),
+                    static_cast<unsigned long long>(r.tick),
+                    static_cast<unsigned long long>(r.accessorClock),
+                    static_cast<unsigned long long>(r.conflictTs));
+    }
+    std::printf("order log: %zu entries (%zu bytes on the wire)\n",
+                cord.orderLog().size(), cord.orderLog().wireBytes());
+
+    // 5. Deterministic replay: re-run the same program gated by the
+    // recorded order and verify both threads observe identical values.
+    Simulation replaySim(machine, 2);
+    ReplayGate gate(cord.orderLog(), 2);
+    replaySim.setGate(&gate);
+    SyncRuntime rt2;
+    ThreadCtx rctx0;
+    ThreadCtx rctx1;
+    rctx1.tid = 1;
+    replaySim.spawn(0, producer(rt2, rctx0, sh));
+    replaySim.spawn(1, racyConsumer(rt2, rctx1, sh));
+    replaySim.run();
+
+    const bool match =
+        replaySim.readChecksum(0) == sim.readChecksum(0) &&
+        replaySim.readChecksum(1) == sim.readChecksum(1);
+    std::printf("replay: %s\n",
+                match ? "both threads observed identical values"
+                      : "MISMATCH (this would be a bug)");
+    return match ? 0 : 1;
+}

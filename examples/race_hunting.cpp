@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Race hunting: an injection campaign over one application.
+ *
+ * Demonstrates the evaluation workflow of the paper (Section 3.4): a
+ * census run counts the dynamic synchronization instances, then a
+ * series of runs each removes one uniformly-chosen instance.  Every
+ * run is watched by CORD, a vector-clock baseline, and the Ideal
+ * happens-before detector; the example reports which configurations
+ * caught each manifested problem.
+ *
+ * Usage: race_hunting [workload] [injections]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cord/cord_detector.h"
+#include "cord/ideal_detector.h"
+#include "cord/vc_detector.h"
+#include "harness/runner.h"
+#include "runtime/address_space.h"
+#include "inject/injector.h"
+#include "sim/rng.h"
+
+using namespace cord;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "cholesky";
+    const unsigned injections =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 12;
+
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.scale = 1;
+    params.seed = 2026;
+
+    // Census: count removable sync instances in a clean run.
+    AddressSpace space; // region annotations for race attribution
+    RunSetup census;
+    census.workload = app;
+    census.params = params;
+    census.captureSpace = &space;
+    IdealDetector cleanIdeal(params.numThreads);
+    census.detectors = {&cleanIdeal};
+    const RunOutcome censusOut = runWorkload(census);
+    std::printf("%s: clean run: %llu accesses, %llu sync instances, "
+                "%llu data races (must be 0)\n\n",
+                app.c_str(),
+                static_cast<unsigned long long>(censusOut.accesses),
+                static_cast<unsigned long long>(
+                    censusOut.totalInstances()),
+                static_cast<unsigned long long>(
+                    cleanIdeal.races().pairs()));
+
+    Rng rng(42);
+    unsigned manifested = 0;
+    unsigned cordCaught = 0;
+    unsigned vcCaught = 0;
+    for (unsigned i = 0; i < injections; ++i) {
+        const InjectionPick pick =
+            pickUniformInstance(censusOut.syncCensus, rng);
+        RemoveOneInstance filter(pick);
+
+        IdealDetector ideal(params.numThreads);
+        CordConfig cc;
+        CordDetector cord(cc);
+        VcConfig vc;
+        VcDetector vcd(vc);
+
+        RunSetup run;
+        run.workload = app;
+        run.params = params;
+        run.filter = &filter;
+        run.maxTicks = censusOut.ticks * 25 + 1000000;
+        run.detectors = {&ideal, &cord, &vcd};
+        const RunOutcome out = runWorkload(run);
+
+        std::printf("injection %2u: removed thread %u's instance %llu",
+                    i, pick.tid,
+                    static_cast<unsigned long long>(pick.seqInThread));
+        if (!out.completed)
+            std::printf(" [run deadlocked -- bug manifested as a hang]");
+        if (!ideal.races().problemDetected()) {
+            std::printf(" -> redundant (no race created)\n");
+            continue;
+        }
+        ++manifested;
+        const bool byCord = cord.races().problemDetected();
+        const bool byVc = vcd.races().problemDetected();
+        cordCaught += byCord;
+        vcCaught += byVc;
+        std::printf(" -> %llu races | CORD:%s VC:%s\n",
+                    static_cast<unsigned long long>(
+                        ideal.races().pairs()),
+                    byCord ? "caught" : "missed",
+                    byVc ? "caught" : "missed");
+        if (byCord) {
+            const RaceRecord &r = cord.races().samples().front();
+            std::printf("     first CORD hit: thread %u on %s "
+                        "at tick %llu\n",
+                        r.accessor, space.describe(r.addr).c_str(),
+                        static_cast<unsigned long long>(r.tick));
+        }
+    }
+    std::printf("\nsummary: %u/%u injections manifested; "
+                "CORD caught %u, vector clocks caught %u\n",
+                manifested, injections, cordCaught, vcCaught);
+    return 0;
+}

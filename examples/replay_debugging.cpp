@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Replay debugging: record a buggy (injected) execution once, then
+ * deterministically re-execute it as many times as needed.
+ *
+ * This is the paper's debugging story (Section 1): production runs are
+ * recorded continuously at negligible cost; when a bug manifests, the
+ * recorded order log makes the elusive interleaving repeatable.  The
+ * example removes one synchronization instance from `radiosity`,
+ * records the run with CORD, inspects the order log, and replays the
+ * execution on machines with wildly different timing -- every replay
+ * observes the exact same values, including the racy ones.
+ */
+
+#include <cstdio>
+
+#include "cord/cord_detector.h"
+#include "cord/replay.h"
+#include "harness/runner.h"
+#include "inject/injector.h"
+
+using namespace cord;
+
+int
+main()
+{
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.scale = 1;
+    params.seed = 99;
+
+    // Record an injected (buggy) execution.
+    RemoveOneInstance filter({2, 5}); // remove thread 2's 6th instance
+    CordConfig cc;
+    CordDetector recorder(cc);
+    RunSetup rec;
+    rec.workload = "radiosity";
+    rec.params = params;
+    rec.filter = &filter;
+    rec.detectors = {&recorder};
+    rec.maxTicks = 500000000;
+    const RunOutcome recOut = runWorkload(rec);
+    std::printf("recorded buggy run: %llu ticks, %llu accesses, "
+                "%llu data races detected by CORD\n",
+                static_cast<unsigned long long>(recOut.ticks),
+                static_cast<unsigned long long>(recOut.accesses),
+                static_cast<unsigned long long>(
+                    recorder.races().pairs()));
+
+    const OrderLog &log = recorder.orderLog();
+    std::printf("order log: %zu entries, %zu wire bytes "
+                "(paper: <1MB per full run)\n",
+                log.size(), log.wireBytes());
+    std::printf("first entries (thread, clock, instructions):\n");
+    for (std::size_t i = 0; i < log.entries().size() && i < 6; ++i) {
+        const OrderLogEntry &e = log.entries()[i];
+        std::printf("  t%u  clock=%llu  instrs=%llu\n", e.tid,
+                    static_cast<unsigned long long>(e.clock),
+                    static_cast<unsigned long long>(e.instrs));
+    }
+
+    // Replay under three very different machines.
+    struct Variant
+    {
+        const char *name;
+        Tick memLat;
+        std::uint32_t l2Kb;
+    };
+    const Variant variants[] = {
+        {"fast memory / tiny caches", 40, 8},
+        {"slow memory / default caches", 1200, 32},
+        {"paper machine", 600, 32},
+    };
+    bool allMatch = true;
+    for (const Variant &v : variants) {
+        RunSetup rep;
+        rep.workload = "radiosity";
+        rep.params = params;
+        RemoveOneInstance filter2({2, 5});
+        rep.filter = &filter2;
+        rep.machine.memoryLatency = v.memLat;
+        rep.machine.l2.sizeBytes = v.l2Kb * 1024;
+        ReplayGate gate(log, params.numThreads);
+        rep.gate = &gate;
+        rep.maxTicks = recOut.ticks * 500 + 10000000;
+        const RunOutcome repOut = runWorkload(rep);
+
+        bool match = repOut.completed && gate.overrunInstrs() == 0;
+        for (unsigned t = 0; match && t < params.numThreads; ++t)
+            match = repOut.readChecksums[t] == recOut.readChecksums[t];
+        std::printf("replay on '%s': %s\n", v.name,
+                    match ? "identical execution" : "MISMATCH");
+        allMatch = allMatch && match;
+    }
+    std::printf("%s\n", allMatch
+                            ? "\nThe buggy interleaving is now fully "
+                              "repeatable for debugging."
+                            : "\nREPLAY FAILED");
+    return allMatch ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scalar logical clock utilities (paper Sections 2.4 and 2.7.5).
+ *
+ * CORD stores 16-bit scalar timestamps in cache lines and compares them
+ * against thread clocks using a sliding window of size 2^15 - 1.  Our
+ * model keeps an epoch-extended 64-bit shadow of every timestamp so that
+ * (a) the order log can be totally ordered across wraparounds for replay
+ * and (b) tests can verify that the windowed 16-bit comparison agrees
+ * with ground truth whenever the cache walker keeps timestamps fresh.
+ */
+
+#ifndef CORD_CORD_CLOCK_H
+#define CORD_CORD_CLOCK_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Size of the sliding comparison window (paper: 2^15 - 1). */
+constexpr std::uint32_t kClockWindow = (1u << 15) - 1;
+
+/**
+ * Reconstruct the epoch-extended value of a 16-bit timestamp relative
+ * to a reference 64-bit clock, assuming the true distance is within the
+ * sliding window.  This is exactly the computation CORD's comparator
+ * circuitry performs (a 16-bit subtraction interpreted as signed).
+ */
+inline Ts64
+reconstructTs(Ts64 reference, Ts16 ts16)
+{
+    const std::int16_t diff =
+        static_cast<std::int16_t>(ts16 - static_cast<Ts16>(reference));
+    return reference + static_cast<std::int64_t>(diff);
+}
+
+/**
+ * True when the windowed 16-bit comparison of @p tsFull against
+ * @p reference would give the correct ordering, i.e. the distance is
+ * within the sliding window.
+ */
+inline bool
+withinWindow(Ts64 reference, Ts64 tsFull)
+{
+    const std::int64_t d = static_cast<std::int64_t>(tsFull) -
+                           static_cast<std::int64_t>(reference);
+    return d > -static_cast<std::int64_t>(kClockWindow) &&
+           d < static_cast<std::int64_t>(kClockWindow);
+}
+
+/**
+ * Order-recording race test (paper Section 2.4): a race is found when
+ * the accessing thread's clock is less than or equal to the timestamp
+ * of a conflicting access.
+ */
+inline bool
+isOrderRace(Ts64 threadClock, Ts64 conflictTs)
+{
+    return threadClock <= conflictTs;
+}
+
+/**
+ * Data-race synchronization test with margin D (paper Section 2.6):
+ * two accesses are considered synchronized only when the second one's
+ * clock exceeds the first one's timestamp by at least D.
+ */
+inline bool
+isSynchronized(Ts64 threadClock, Ts64 conflictTs, std::uint32_t d)
+{
+    return threadClock > conflictTs &&
+           threadClock - conflictTs >= static_cast<Ts64>(d);
+}
+
+} // namespace cord
+
+#endif // CORD_CORD_CLOCK_H

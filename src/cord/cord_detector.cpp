@@ -1,0 +1,372 @@
+#include "cord/cord_detector.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+CordDetector::CordDetector(const CordConfig &cfg, std::string name)
+    : Detector(std::move(name)), cfg_(cfg)
+{
+    cord_assert(cfg_.numCores > 0 && cfg_.numThreads > 0,
+                "CORD needs at least one core and one thread");
+    cord_assert(cfg_.entriesPerLine >= 1 && cfg_.entriesPerLine <= 2,
+                "CORD keeps one or two timestamps per line");
+    cord_assert(cfg_.d >= 1, "the sync-read margin D must be >= 1");
+    caches_.reserve(cfg_.numCores);
+    for (unsigned i = 0; i < cfg_.numCores; ++i) {
+        if (cfg_.infiniteResidency)
+            caches_.emplace_back();
+        else
+            caches_.emplace_back(cfg_.residency);
+    }
+    writers_.resize(cfg_.numThreads);
+    threadDone_.assign(cfg_.numThreads, false);
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t)
+        writers_[t].begin(cfg_.recordOrder ? &log_ : nullptr, t, 1);
+    lastTid_.assign(cfg_.numCores, kInvalidThread);
+}
+
+void
+CordDetector::foldIntoMemTs(const LineState &ls, Tick now)
+{
+    if (!cfg_.memTimestamps)
+        return;
+    bool changed = false;
+    for (const Entry &e : ls.e) {
+        if (!e.valid)
+            continue;
+        if (e.readBits && e.ts > memReadTs_) {
+            memReadTs_ = e.ts;
+            changed = true;
+        }
+        if (e.writeBits && e.ts > memWriteTs_) {
+            memWriteTs_ = e.ts;
+            changed = true;
+        }
+    }
+    if (changed) {
+        stats_.inc("cord.memTsUpdates");
+        if (sink_)
+            sink_->memTsBroadcast(now);
+    }
+}
+
+CordDetector::SnoopResult
+CordDetector::snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock)
+{
+    SnoopResult sr;
+    const std::uint16_t wbit =
+        static_cast<std::uint16_t>(1u << wordInLine(addr));
+    for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
+        if (oc == core)
+            continue;
+        LineState *ls = caches_[oc].find(addr);
+        if (!ls)
+            continue;
+        sr.anyRemoteLine = true;
+        // The snooped transaction clears remote check-filter bits: the
+        // remote cache can no longer assume the line is conflict-free.
+        ls->filterW = false;
+        if (isWrite)
+            ls->filterR = false;
+        for (const Entry &e : ls->e) {
+            if (!e.valid)
+                continue;
+            if (!withinWindow(clock, e.ts))
+                stats_.inc("cord.windowViolations");
+            const bool conflicts =
+                isWrite ? (((e.readBits | e.writeBits) & wbit) != 0)
+                        : ((e.writeBits & wbit) != 0);
+            if (conflicts) {
+                if (!sr.haveConflict || e.ts > sr.maxConflictTs)
+                    sr.maxConflictTs = e.ts;
+                sr.haveConflict = true;
+                if (sr.numConflicts <
+                    static_cast<unsigned>(sr.conflictTs.size()))
+                    sr.conflictTs[sr.numConflicts] = e.ts;
+                ++sr.numConflicts;
+            }
+            if ((e.writeBits & wbit) != 0) {
+                if (!sr.haveWriteTs || e.ts > sr.maxWriteTs)
+                    sr.maxWriteTs = e.ts;
+                sr.haveWriteTs = true;
+            }
+            if (e.writeBits != 0 && !isSynchronized(clock, e.ts, cfg_.d))
+                sr.lineClearForRead = false;
+        }
+    }
+    // A write filter requires sole ownership (MESI M/E): any fetch of
+    // the line by another core goes on the bus and clears it again.
+    sr.lineClearForWrite = !sr.anyRemoteLine;
+    return sr;
+}
+
+void
+CordDetector::invalidateRemote(CoreId core, Addr addr, Tick now)
+{
+    for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
+        if (oc == core)
+            continue;
+        const bool dropped = caches_[oc].invalidate(
+            addr, [&](Addr, LineState &st) { foldIntoMemTs(st, now); });
+        if (dropped)
+            stats_.inc("cord.coherenceInvalidations");
+    }
+}
+
+void
+CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
+                             Ts64 clock, const SnoopResult *snoopRes,
+                             Tick now)
+{
+    const std::uint16_t wbit =
+        static_cast<std::uint16_t>(1u << wordInLine(addr));
+    LineState &ls = caches_[core].getOrInsert(
+        addr, [&](Addr, LineState &st) {
+            foldIntoMemTs(st, now);
+            stats_.inc("cord.lineDisplacements");
+        });
+
+    // Find an entry already carrying this clock value.
+    Entry *slot = nullptr;
+    for (unsigned i = 0; i < cfg_.entriesPerLine; ++i) {
+        if (ls.e[i].valid && ls.e[i].ts == clock) {
+            slot = &ls.e[i];
+            break;
+        }
+    }
+    if (!slot) {
+        // Displace the lowest-timestamp entry (paper Section 2.7.2),
+        // folding its history into the main-memory timestamps.
+        unsigned victim = 0;
+        for (unsigned i = 1; i < cfg_.entriesPerLine; ++i) {
+            if (!ls.e[victim].valid)
+                break;
+            if (!ls.e[i].valid || ls.e[i].ts < ls.e[victim].ts)
+                victim = i;
+        }
+        if (ls.e[victim].valid) {
+            LineState tmp;
+            tmp.e[0] = ls.e[victim];
+            foldIntoMemTs(tmp, now);
+            stats_.inc("cord.entryDisplacements");
+        }
+        ls.e[victim] = Entry{};
+        ls.e[victim].valid = true;
+        ls.e[victim].ts = clock;
+        slot = &ls.e[victim];
+    }
+    if (isWrite)
+        slot->writeBits |= wbit;
+    else
+        slot->readBits |= wbit;
+
+    // Check-filter grant (paper Section 2.7.2): the snoop response can
+    // indicate that the whole line is conflict-free in this mode.
+    if (cfg_.checkFilterBits && snoopRes) {
+        if (isWrite) {
+            if (snoopRes->lineClearForWrite) {
+                ls.filterW = true;
+                ls.filterR = true;
+            }
+        } else if (snoopRes->lineClearForRead) {
+            ls.filterR = true;
+        }
+    }
+}
+
+Ts64
+CordDetector::minActiveClock() const
+{
+    Ts64 minClk = 0;
+    bool any = false;
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        if (threadDone_[t])
+            continue;
+        const Ts64 c = writers_[t].clock();
+        if (!any || c < minClk)
+            minClk = c;
+        any = true;
+    }
+    return any ? minClk : 0;
+}
+
+void
+CordDetector::runWalker(Tick now)
+{
+    const Ts64 minClk = minActiveClock();
+    if (minClk == 0)
+        return;
+    for (auto &cache : caches_) {
+        cache.forEach([&](Addr, LineState &ls) {
+            for (unsigned i = 0; i < cfg_.entriesPerLine; ++i) {
+                Entry &e = ls.e[i];
+                if (!e.valid)
+                    continue;
+                if (minClk > e.ts && minClk - e.ts > cfg_.staleThreshold) {
+                    LineState tmp;
+                    tmp.e[0] = e;
+                    foldIntoMemTs(tmp, now);
+                    e = Entry{};
+                    stats_.inc("cord.walkerEvictions");
+                }
+            }
+        });
+    }
+}
+
+void
+CordDetector::onAccess(const MemEvent &ev)
+{
+    cord_assert(ev.tid < cfg_.numThreads, "unknown thread ", ev.tid);
+    cord_assert(ev.core < cfg_.numCores, "unknown core ", ev.core);
+    ++eventsSeen_;
+
+    const bool isW = ev.isWrite();
+    const bool sync = ev.isSync();
+    const std::uint16_t wbit =
+        static_cast<std::uint16_t>(1u << wordInLine(ev.addr));
+
+    OrderLogWriter &wr = writers_[ev.tid];
+    Ts64 clock = wr.clock();
+
+    // Thread (re)scheduled on this core: bump by D so stale local
+    // timestamps of the previous occupant cannot cause self-races
+    // (paper Section 2.7.4).
+    if (lastTid_[ev.core] != ev.tid) {
+        if (lastTid_[ev.core] != kInvalidThread && cfg_.migrationIncrement) {
+            clock += cfg_.d;
+            stats_.inc("cord.migrationBumps");
+        }
+        lastTid_[ev.core] = ev.tid;
+    }
+
+    LineState *local = caches_[ev.core].find(ev.addr);
+    const bool localHit = local != nullptr;
+
+    // Does this access need a race check on the bus?
+    bool needCheck = true;
+    if (localHit) {
+        if (cfg_.checkFilterBits && !sync &&
+            (isW ? local->filterW : local->filterR)) {
+            needCheck = false;
+            stats_.inc("cord.filteredChecks");
+        } else {
+            for (unsigned i = 0; i < cfg_.entriesPerLine && needCheck;
+                 ++i) {
+                const Entry &e = local->e[i];
+                if (e.valid && e.ts == clock &&
+                    (((isW ? e.writeBits : e.readBits) & wbit) != 0))
+                    needCheck = false;
+            }
+        }
+    }
+
+    SnoopResult sr;
+    bool memServed = false;
+    if (needCheck) {
+        sr = snoop(ev.core, ev.addr, isW, clock);
+        stats_.inc("cord.raceChecks");
+        // A check from a cache hit is extra address/timestamp-bus
+        // traffic; a miss's check piggybacks on the miss transaction.
+        if (localHit && sink_)
+            sink_->raceCheck(ev.tick);
+        memServed = !localHit && !sr.anyRemoteLine;
+    }
+
+    Ts64 newClock = clock;
+    if (needCheck) {
+        if (sr.haveConflict) {
+            if (isOrderRace(newClock, sr.maxConflictTs)) {
+                newClock = sr.maxConflictTs + 1;
+                stats_.inc("cord.orderRaces");
+            }
+            if (!sync) {
+                // Data race detection with margin D (Section 2.6).
+                const unsigned n =
+                    std::min<unsigned>(sr.numConflicts,
+                                       sr.conflictTs.size());
+                for (unsigned i = 0; i < n; ++i) {
+                    if (!isSynchronized(clock, sr.conflictTs[i], cfg_.d)) {
+                        report_.record({ev.tick, ev.addr, ev.tid, ev.kind,
+                                        clock, sr.conflictTs[i]});
+                        stats_.inc("cord.dataRaces");
+                    }
+                }
+            }
+        }
+        if (sync && !isW && sr.haveWriteTs) {
+            // Sync-read clock update to wts + D (Section 2.6).
+            const Ts64 target = sr.maxWriteTs + cfg_.d;
+            if (target > newClock)
+                newClock = target;
+        }
+        if (cfg_.memTimestamps) {
+            // Every race check also compares against the (locally
+            // replicated) main-memory timestamps: conflicting history
+            // may have been displaced or invalidated out of all caches
+            // and folded into them, and correct order-recording must
+            // still order this access after it (Section 2.5).  Races
+            // "found" this way are never reported -- they may be false
+            // (the memory timestamp covers all of memory).
+            const Ts64 tsMem =
+                isW ? std::max(memReadTs_, memWriteTs_) : memWriteTs_;
+            if (isOrderRace(newClock, tsMem)) {
+                newClock = tsMem + 1;
+                stats_.inc("cord.memTsOrderUpdates");
+                if (!sync)
+                    stats_.inc("cord.suppressedMemRaces");
+                if (memServed)
+                    stats_.inc("cord.memServedOrderUpdates");
+            }
+            if (sync && !isW && memWriteTs_ + 1 > newClock)
+                newClock = memWriteTs_ + 1;
+        }
+    }
+
+    // Commit the (single) pre-access clock change to the order log.
+    if (newClock != wr.clock())
+        wr.changeClock(newClock, ev.instrCount - 1);
+
+    // Coherence: a committed write invalidates all remote copies,
+    // folding their histories into the main-memory timestamps.
+    if (isW)
+        invalidateRemote(ev.core, ev.addr, ev.tick);
+
+    timestampLocal(ev.core, ev.addr, isW, newClock,
+                   needCheck ? &sr : nullptr, ev.tick);
+
+    // Clock increment after every synchronization write (Section 2.4).
+    if (sync && isW)
+        wr.changeClock(newClock + 1, ev.instrCount);
+
+    if (wr.clock() > maxClock_)
+        maxClock_ = wr.clock();
+
+    // Cache walker: bound timestamp staleness for the sliding window.
+    if (eventsSeen_ % cfg_.walkPeriodEvents == 0 ||
+        maxClock_ - maxClockAtLastWalk_ > cfg_.staleThreshold / 4) {
+        runWalker(ev.tick);
+        maxClockAtLastWalk_ = maxClock_;
+    }
+}
+
+void
+CordDetector::onThreadEnd(ThreadId tid, std::uint64_t totalInstrs)
+{
+    cord_assert(tid < cfg_.numThreads, "unknown thread ", tid);
+    writers_[tid].finish(totalInstrs);
+    threadDone_[tid] = true;
+}
+
+void
+CordDetector::finish()
+{
+    stats_.set("cord.logEntries", log_.size());
+    stats_.set("cord.logWireBytes", log_.wireBytes());
+}
+
+} // namespace cord

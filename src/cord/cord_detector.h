@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The CORD mechanism (paper Section 2): combined order-recording and
+ * data race detection with scalar clocks, two timestamps per cached
+ * line with per-word access bits, check-filter bits, main-memory
+ * timestamps, sync-read clock updates with margin D, and a cache walker
+ * bounding timestamp staleness for the 16-bit sliding window.
+ */
+
+#ifndef CORD_CORD_CORD_DETECTOR_H
+#define CORD_CORD_CORD_DETECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cord/clock.h"
+#include "cord/detector.h"
+#include "cord/history_cache.h"
+#include "cord/order_log.h"
+#include "mem/geometry.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Configuration of one CORD instance (ablation knobs included). */
+struct CordConfig
+{
+    unsigned numCores = 4;
+    unsigned numThreads = 4;
+
+    /** Sync-read clock-update margin D (paper Section 2.6). */
+    std::uint32_t d = 16;
+
+    /** History residency: nullopt = unbounded (InfCache-like). */
+    bool infiniteResidency = false;
+    CacheGeometry residency = CacheGeometry::paperL2();
+
+    /** Timestamps kept per cached line (paper: 2; ablation: 1). */
+    unsigned entriesPerLine = 2;
+
+    /** Main-memory timestamp mechanism (Section 2.5). */
+    bool memTimestamps = true;
+
+    /** Per-line check-filter bits (Section 2.7.2). */
+    bool checkFilterBits = true;
+
+    /** Clock bump by D on thread migration (Section 2.7.4). */
+    bool migrationIncrement = true;
+
+    /** Whether to record the order log (always on in the paper). */
+    bool recordOrder = true;
+
+    /** Cache-walker period, in observed access events (Section 2.7.5). */
+    std::uint64_t walkPeriodEvents = 4096;
+
+    /** Entries older than this relative to the slowest thread clock
+     *  are evicted by the walker to stay inside the sliding window. */
+    std::uint32_t staleThreshold = 1u << 14;
+};
+
+/**
+ * CORD detector / order recorder.
+ *
+ * Consumes the committed access stream; maintains per-core functional
+ * history caches; reports data races (never through main-memory
+ * timestamps -- no false positives) and writes the order log.
+ */
+class CordDetector : public Detector
+{
+  public:
+    CordDetector(const CordConfig &cfg, std::string name = "CORD");
+
+    void onAccess(const MemEvent &ev) override;
+    void onThreadEnd(ThreadId tid, std::uint64_t totalInstrs) override;
+    void finish() override;
+
+    /** Bind a sink for timing-coupled runs (may be nullptr). */
+    void setTrafficSink(CordTrafficSink *sink) { sink_ = sink; }
+
+    const OrderLog &orderLog() const { return log_; }
+
+    /** Current logical clock of @p tid (epoch-extended). */
+    Ts64 threadClock(ThreadId tid) const { return writers_[tid].clock(); }
+
+    /** Main-memory read/write timestamps (Section 2.5). */
+    Ts64 memReadTs() const { return memReadTs_; }
+    Ts64 memWriteTs() const { return memWriteTs_; }
+
+    const CordConfig &config() const { return cfg_; }
+
+  private:
+    /** One access-history entry: a timestamp plus per-word R/W bits. */
+    struct Entry
+    {
+        bool valid = false;
+        Ts64 ts = 0;                  //!< epoch-extended shadow
+        std::uint16_t readBits = 0;   //!< per-word "read at ts" bits
+        std::uint16_t writeBits = 0;  //!< per-word "written at ts" bits
+
+        Ts16 wireTs() const { return static_cast<Ts16>(ts); }
+    };
+
+    /** Per-line CORD state (2 entries, newest first; filter bits). */
+    struct LineState
+    {
+        Entry e[2];
+        bool filterR = false;
+        bool filterW = false;
+    };
+
+    /** What the snoop (race check) learned from remote caches. */
+    struct SnoopResult
+    {
+        bool anyRemoteLine = false;    //!< some remote cache has the line
+        bool haveConflict = false;
+        Ts64 maxConflictTs = 0;        //!< max ts conflicting on the word
+        bool haveWriteTs = false;
+        Ts64 maxWriteTs = 0;           //!< max remote write ts on the word
+        bool lineClearForRead = true;  //!< no remote write history in line
+        bool lineClearForWrite = true; //!< no remote history at all in line
+        std::array<Ts64, 16> conflictTs{}; //!< individual conflicting ts
+        unsigned numConflicts = 0;
+    };
+
+    /** Broadcast a race check for (core, word); gather remote state. */
+    SnoopResult snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock);
+
+    /** Fold a displaced/invalidated line history into the main-memory
+     *  timestamps, broadcasting on change (Section 2.5). */
+    void foldIntoMemTs(const LineState &ls, Tick now);
+
+    /** Insert the committed access into the local history. */
+    void timestampLocal(CoreId core, Addr addr, bool isWrite, Ts64 clock,
+                        const SnoopResult *snoopRes, Tick now);
+
+    /** Invalidate remote copies on a committed write (MESI BusRdX). */
+    void invalidateRemote(CoreId core, Addr addr, Tick now);
+
+    /** Periodic stale-timestamp eviction (Section 2.7.5). */
+    void runWalker(Tick now);
+
+    /** Minimum clock across threads that are still running. */
+    Ts64 minActiveClock() const;
+
+    CordConfig cfg_;
+    CordTrafficSink *sink_ = nullptr;
+
+    std::vector<HistoryCache<LineState>> caches_; //!< one per core
+    std::vector<OrderLogWriter> writers_;         //!< one per thread
+    std::vector<bool> threadDone_;
+    std::vector<ThreadId> lastTid_;               //!< per core, migration
+
+    OrderLog log_;
+    Ts64 memReadTs_ = 0;
+    Ts64 memWriteTs_ = 0;
+
+    std::uint64_t eventsSeen_ = 0;
+    Ts64 maxClockAtLastWalk_ = 0;
+    Ts64 maxClock_ = 1;
+};
+
+} // namespace cord
+
+#endif // CORD_CORD_CORD_DETECTOR_H

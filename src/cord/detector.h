@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Common interface of all race-detection / order-recording models.
+ *
+ * Detectors are passive observers of the committed access stream
+ * (mem/access.h).  The CORD model can additionally be bound to a
+ * CordTrafficSink, through which its race-check requests and
+ * memory-timestamp broadcasts are charged to the timing model's
+ * address/timestamp bus (Figure 11 experiments).
+ */
+
+#ifndef CORD_CORD_DETECTOR_H
+#define CORD_CORD_DETECTOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "cord/race_report.h"
+#include "mem/access.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Receives CORD's extra bus traffic in timing-coupled runs. */
+class CordTrafficSink
+{
+  public:
+    virtual ~CordTrafficSink() = default;
+
+    /** A race check request (address/timestamp bus, no data). */
+    virtual void raceCheck(Tick now) = 0;
+
+    /** A main-memory timestamp update broadcast. */
+    virtual void memTsBroadcast(Tick now) = 0;
+};
+
+/** Base class for all detector configurations. */
+class Detector
+{
+  public:
+    explicit Detector(std::string name) : name_(std::move(name)) {}
+    virtual ~Detector() = default;
+
+    Detector(const Detector &) = delete;
+    Detector &operator=(const Detector &) = delete;
+
+    /** Observe one committed access. */
+    virtual void onAccess(const MemEvent &ev) = 0;
+
+    /** A thread finished after retiring @p totalInstrs instructions. */
+    virtual void onThreadEnd(ThreadId tid, std::uint64_t totalInstrs) {}
+
+    /** Run ended; flush any pending state. */
+    virtual void finish() {}
+
+    /** Data races found so far. */
+    const RaceReport &races() const { return report_; }
+
+    /** Model-specific counters. */
+    const StatRegistry &stats() const { return stats_; }
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    RaceReport report_;
+    StatRegistry stats_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace cord
+
+#endif // CORD_CORD_DETECTOR_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Residency model for detector access histories.
+ *
+ * The paper's configurations differ in *where* timestamps may live:
+ * only for lines resident in the local L1 (L1Cache), in the local L2
+ * (CORD default, L2Cache), or everywhere (Ideal, InfCache).  This class
+ * wraps either a finite set-associative tag array or an unbounded map
+ * behind one interface, invoking a callback whenever a line's history
+ * is displaced (which is when CORD folds it into the main-memory
+ * timestamps, Section 2.5).
+ */
+
+#ifndef CORD_CORD_HISTORY_CACHE_H
+#define CORD_CORD_HISTORY_CACHE_H
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/cache_array.h"
+#include "mem/geometry.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/**
+ * Per-core history storage for one detector.
+ *
+ * @tparam StateT per-line detector state
+ */
+template <typename StateT>
+class HistoryCache
+{
+  public:
+    using EvictFn = std::function<void(Addr, StateT &)>;
+
+    /** Unbounded residency (Ideal / InfCache configurations). */
+    HistoryCache() : infinite_(true) {}
+
+    /** Finite residency following @p geo (L1Cache / L2Cache / CORD). */
+    explicit HistoryCache(const CacheGeometry &geo)
+        : infinite_(false), array_(std::in_place, geo)
+    {
+        geo.validate();
+    }
+
+    bool infinite() const { return infinite_; }
+
+    /** Look up the line's state without allocating. */
+    StateT *
+    find(Addr a)
+    {
+        const Addr la = lineAddr(a);
+        if (infinite_) {
+            auto it = map_.find(la);
+            return it == map_.end() ? nullptr : &it->second;
+        }
+        auto *line = array_->find(la);
+        return line ? &line->state : nullptr;
+    }
+
+    /**
+     * Look up or allocate the line's state, updating recency.  When a
+     * finite set overflows, the LRU victim's state is passed to
+     * @p onEvict before being discarded.
+     */
+    StateT &
+    getOrInsert(Addr a, const EvictFn &onEvict)
+    {
+        const Addr la = lineAddr(a);
+        if (infinite_)
+            return map_[la];
+        if (auto *line = array_->touch(la))
+            return line->state;
+        std::optional<typename CacheArray<StateT>::Line> victim;
+        auto &fresh = array_->insert(la, victim);
+        if (victim && onEvict)
+            onEvict(victim->addr, victim->state);
+        return fresh.state;
+    }
+
+    /**
+     * Drop the line's history (coherence invalidation), passing the
+     * state to @p onEvict first.
+     * @return true when the line was resident.
+     */
+    bool
+    invalidate(Addr a, const EvictFn &onEvict)
+    {
+        const Addr la = lineAddr(a);
+        if (infinite_) {
+            auto it = map_.find(la);
+            if (it == map_.end())
+                return false;
+            if (onEvict)
+                onEvict(la, it->second);
+            map_.erase(it);
+            return true;
+        }
+        auto *line = array_->find(la);
+        if (!line)
+            return false;
+        if (onEvict)
+            onEvict(la, line->state);
+        line->valid = false;
+        return true;
+    }
+
+    /** Visit every resident line's state (the CORD cache walker). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        if (infinite_) {
+            for (auto &[addr, state] : map_)
+                fn(addr, state);
+        } else {
+            array_->forEach([&](auto &line) { fn(line.addr, line.state); });
+        }
+    }
+
+    std::size_t
+    residentCount() const
+    {
+        return infinite_ ? map_.size() : array_->residentCount();
+    }
+
+  private:
+    bool infinite_;
+    std::optional<CacheArray<StateT>> array_;
+    std::unordered_map<Addr, StateT> map_;
+};
+
+} // namespace cord
+
+#endif // CORD_CORD_HISTORY_CACHE_H

@@ -1,0 +1,110 @@
+#include "cord/log_codec.h"
+
+#include <unordered_map>
+
+#include "cord/clock.h"
+#include "sim/logging.h"
+
+namespace cord
+{
+
+namespace
+{
+
+void
+put16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    put16(out, static_cast<std::uint16_t>(v & 0xffff));
+    put16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t
+get16(const std::vector<std::uint8_t> &in, std::size_t off)
+{
+    return static_cast<std::uint16_t>(in[off] |
+                                      (static_cast<unsigned>(in[off + 1])
+                                       << 8));
+}
+
+std::uint32_t
+get32(const std::vector<std::uint8_t> &in, std::size_t off)
+{
+    return static_cast<std::uint32_t>(get16(in, off)) |
+           (static_cast<std::uint32_t>(get16(in, off + 2)) << 16);
+}
+
+} // namespace
+
+bool
+isWireEncodable(const OrderLog &log)
+{
+    std::unordered_map<ThreadId, Ts64> last;
+    for (const OrderLogEntry &e : log.entries()) {
+        auto it = last.find(e.tid);
+        if (it != last.end()) {
+            cord_assert(e.clock >= it->second,
+                        "per-thread log clocks must not decrease");
+            if (e.clock - it->second >= kClockWindow)
+                return false;
+        }
+        last[e.tid] = e.clock;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeOrderLog(const OrderLog &log)
+{
+    cord_assert(isWireEncodable(log),
+                "order log violates the bounded-jump invariant; real "
+                "hardware stalls clock updates to prevent this "
+                "(Section 2.7.5)");
+    std::vector<std::uint8_t> out;
+    out.reserve(log.size() * OrderLog::kEntryWireBytes);
+    for (const OrderLogEntry &e : log.entries()) {
+        put16(out, e.tid);
+        put16(out, e.wireClock());
+        cord_assert(e.instrs <= 0xffffffffULL,
+                    "instruction count exceeds the 32-bit wire field");
+        put32(out, static_cast<std::uint32_t>(e.instrs));
+    }
+    return out;
+}
+
+OrderLog
+decodeOrderLog(const std::vector<std::uint8_t> &bytes, Ts64 initialClock)
+{
+    cord_assert(bytes.size() % OrderLog::kEntryWireBytes == 0,
+                "wire log size must be a multiple of 8 bytes");
+    OrderLog log;
+    // Last reconstructed clock per thread; threads start at the
+    // initial clock, so the first entry reconstructs relative to it.
+    std::unordered_map<ThreadId, Ts64> last;
+    for (std::size_t off = 0; off < bytes.size();
+         off += OrderLog::kEntryWireBytes) {
+        const ThreadId tid = static_cast<ThreadId>(get16(bytes, off));
+        const Ts16 wire = get16(bytes, off + 2);
+        const std::uint32_t instrs = get32(bytes, off + 4);
+
+        auto it = last.find(tid);
+        const Ts64 prev = it == last.end() ? initialClock : it->second;
+        // The true clock is the smallest value >= prev whose low 16
+        // bits equal the wire clock (clocks never decrease, and jumps
+        // are bounded below the window).
+        Ts64 clock = (prev & ~static_cast<Ts64>(0xffff)) | wire;
+        if (clock < prev)
+            clock += 1ULL << 16;
+        last[tid] = clock;
+        log.append(tid, clock, instrs);
+    }
+    return log;
+}
+
+} // namespace cord

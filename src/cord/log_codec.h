@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wire format codec for the execution-order log (paper Section 2.7.1).
+ *
+ * Hardware appends eight bytes per entry: a 16-bit thread ID, the
+ * 16-bit previous clock value, and a 32-bit instruction count.  The
+ * decoder reconstructs the epoch-extended 64-bit clocks that replay
+ * needs by counting 16-bit wraparounds per thread -- valid because a
+ * thread's logged clocks are strictly increasing and CORD's sliding
+ * window (with update stalling, Section 2.7.5) bounds every clock jump
+ * below 2^15.  The encoder verifies that invariant.
+ */
+
+#ifndef CORD_CORD_LOG_CODEC_H
+#define CORD_CORD_LOG_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cord/order_log.h"
+
+namespace cord
+{
+
+/** Encode the log into its 8-byte-per-entry wire format. */
+std::vector<std::uint8_t> encodeOrderLog(const OrderLog &log);
+
+/**
+ * Decode a wire-format log, reconstructing 64-bit clocks.
+ * @param bytes wire bytes (size must be a multiple of 8)
+ * @param initialClock the clock threads start with (CORD uses 1)
+ */
+OrderLog decodeOrderLog(const std::vector<std::uint8_t> &bytes,
+                        Ts64 initialClock = 1);
+
+/**
+ * True when the log satisfies the bounded-jump invariant the wire
+ * format requires (per-thread clock deltas below the half-window).
+ */
+bool isWireEncodable(const OrderLog &log);
+
+} // namespace cord
+
+#endif // CORD_CORD_LOG_CODEC_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Accumulated data-race detections for one simulation run.
+ *
+ * Two metrics matter in the paper's evaluation (Section 4.2):
+ *  - the *raw data race detection* count (Figures 13, 15, 17), which we
+ *    measure as the number of racing access pairs detected, and
+ *  - the *problem detection* bit (Figures 12, 14, 16): whether at least
+ *    one data race was detected in the run.
+ */
+
+#ifndef CORD_CORD_RACE_REPORT_H
+#define CORD_CORD_RACE_REPORT_H
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "mem/access.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** One detected data race (current access vs one conflicting access). */
+struct RaceRecord
+{
+    Tick tick = 0;
+    Addr addr = 0;            //!< word address of the conflict
+    ThreadId accessor = 0;    //!< thread performing the later access
+    AccessKind kind = AccessKind::DataRead;
+    Ts64 accessorClock = 0;   //!< scalar models only; 0 otherwise
+    Ts64 conflictTs = 0;      //!< scalar models only; 0 otherwise
+};
+
+/** Accumulates race detections; cheap to query, bounded sample list. */
+class RaceReport
+{
+  public:
+    /** Record one racing pair. */
+    void
+    record(const RaceRecord &r)
+    {
+        ++pairs_;
+        words_.insert(r.addr);
+        if (samples_.size() < kMaxSamples)
+            samples_.push_back(r);
+    }
+
+    /** Number of racing access pairs detected. */
+    std::uint64_t pairs() const { return pairs_; }
+
+    /** True when at least one race was detected (problem detection). */
+    bool problemDetected() const { return pairs_ > 0; }
+
+    /** Distinct words involved in detected races. */
+    const std::set<Addr> &words() const { return words_; }
+
+    /** Bounded list of example races, for reporting and debugging. */
+    const std::vector<RaceRecord> &samples() const { return samples_; }
+
+    void
+    clear()
+    {
+        pairs_ = 0;
+        words_.clear();
+        samples_.clear();
+    }
+
+  private:
+    static constexpr std::size_t kMaxSamples = 1024;
+
+    std::uint64_t pairs_ = 0;
+    std::set<Addr> words_;
+    std::vector<RaceRecord> samples_;
+};
+
+} // namespace cord
+
+#endif // CORD_CORD_RACE_REPORT_H

@@ -1,0 +1,173 @@
+#include "cord/vc_detector.h"
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+VcDetector::VcDetector(const VcConfig &cfg, std::string name)
+    : Detector(std::move(name)), cfg_(cfg),
+      memReadVc_(cfg.numThreads), memWriteVc_(cfg.numThreads)
+{
+    cord_assert(cfg_.numCores > 0 && cfg_.numThreads > 0,
+                "VC detector needs at least one core and one thread");
+    cord_assert(cfg_.entriesPerLine >= 1 && cfg_.entriesPerLine <= 2,
+                "one or two timestamps per line");
+    caches_.reserve(cfg_.numCores);
+    for (unsigned i = 0; i < cfg_.numCores; ++i) {
+        if (cfg_.infiniteResidency)
+            caches_.emplace_back();
+        else
+            caches_.emplace_back(cfg_.residency);
+    }
+    vc_.reserve(cfg_.numThreads);
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        vc_.emplace_back(cfg_.numThreads);
+        vc_.back().tick(t); // each thread starts at component 1
+    }
+}
+
+void
+VcDetector::foldIntoMemVc(const LineState &ls)
+{
+    if (!cfg_.memTimestamps)
+        return;
+    for (const Entry &e : ls.e) {
+        if (!e.valid)
+            continue;
+        if (e.readBits)
+            memReadVc_.join(e.vc);
+        if (e.writeBits)
+            memWriteVc_.join(e.vc);
+    }
+}
+
+void
+VcDetector::invalidateRemote(CoreId core, Addr addr)
+{
+    for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
+        if (oc == core)
+            continue;
+        caches_[oc].invalidate(
+            addr, [&](Addr, LineState &st) { foldIntoMemVc(st); });
+    }
+}
+
+void
+VcDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
+                           const VectorClock &tvc)
+{
+    const std::uint16_t wbit =
+        static_cast<std::uint16_t>(1u << wordInLine(addr));
+    LineState &ls = caches_[core].getOrInsert(
+        addr, [&](Addr, LineState &st) {
+            foldIntoMemVc(st);
+            stats_.inc("vc.lineDisplacements");
+        });
+    Entry *slot = nullptr;
+    for (unsigned i = 0; i < cfg_.entriesPerLine; ++i) {
+        if (ls.e[i].valid && ls.e[i].vc == tvc) {
+            slot = &ls.e[i];
+            break;
+        }
+    }
+    if (!slot) {
+        unsigned victim = 0;
+        for (unsigned i = 1; i < cfg_.entriesPerLine; ++i) {
+            if (!ls.e[victim].valid)
+                break;
+            if (!ls.e[i].valid || ls.e[i].seq < ls.e[victim].seq)
+                victim = i;
+        }
+        if (ls.e[victim].valid) {
+            LineState tmp;
+            tmp.e[0] = ls.e[victim];
+            foldIntoMemVc(tmp);
+            stats_.inc("vc.entryDisplacements");
+        }
+        ls.e[victim] = Entry{};
+        ls.e[victim].valid = true;
+        ls.e[victim].vc = tvc;
+        slot = &ls.e[victim];
+    }
+    slot->seq = ++seq_;
+    if (isWrite)
+        slot->writeBits |= wbit;
+    else
+        slot->readBits |= wbit;
+}
+
+void
+VcDetector::onAccess(const MemEvent &ev)
+{
+    cord_assert(ev.tid < cfg_.numThreads, "unknown thread ", ev.tid);
+    cord_assert(ev.core < cfg_.numCores, "unknown core ", ev.core);
+
+    const bool isW = ev.isWrite();
+    const bool sync = ev.isSync();
+    const std::uint16_t wbit =
+        static_cast<std::uint16_t>(1u << wordInLine(ev.addr));
+
+    VectorClock &tvc = vc_[ev.tid];
+    const bool localHit = caches_[ev.core].find(ev.addr) != nullptr;
+
+    // Snoop remote histories for conflicts on this word.
+    bool anyRemoteLine = false;
+    for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
+        if (oc == ev.core)
+            continue;
+        LineState *ls = caches_[oc].find(ev.addr);
+        if (!ls)
+            continue;
+        anyRemoteLine = true;
+        for (const Entry &e : ls->e) {
+            if (!e.valid)
+                continue;
+            const bool conflicts =
+                isW ? (((e.readBits | e.writeBits) & wbit) != 0)
+                    : ((e.writeBits & wbit) != 0);
+            if (conflicts && !e.vc.lessEq(tvc)) {
+                // Unordered conflict: a race.  Data races do not
+                // introduce ordering (the VC configurations are
+                // detection baselines, not order recorders), so they
+                // do not mask later races; sync races join as usual.
+                if (!sync) {
+                    report_.record(
+                        {ev.tick, ev.addr, ev.tid, ev.kind, 0, 0});
+                    stats_.inc("vc.dataRaces");
+                } else {
+                    tvc.join(e.vc);
+                }
+                stats_.inc("vc.orderRaces");
+            }
+            if (sync && !isW && (e.writeBits & wbit) != 0) {
+                // Sync read acquires the writer's ordering.
+                tvc.join(e.vc);
+            }
+        }
+    }
+
+    // Line supplied by memory: consult the memory vector timestamps,
+    // never reporting races found this way.
+    if (!localHit && !anyRemoteLine && cfg_.memTimestamps) {
+        if (!memWriteVc_.lessEq(tvc)) {
+            tvc.join(memWriteVc_);
+            stats_.inc("vc.memVcJoins");
+        }
+        if (isW && !memReadVc_.lessEq(tvc)) {
+            tvc.join(memReadVc_);
+            stats_.inc("vc.memVcJoins");
+        }
+    }
+
+    if (isW)
+        invalidateRemote(ev.core, ev.addr);
+
+    timestampLocal(ev.core, ev.addr, isW, tvc);
+
+    // Advance own component after every synchronization write.
+    if (sync && isW)
+        tvc.tick(ev.tid);
+}
+
+} // namespace cord

@@ -1,0 +1,324 @@
+#include "cpu/simulation.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+Simulation::Simulation(const MachineConfig &cfg, unsigned numThreads)
+    : cfg_(cfg), mem_(cfg)
+{
+    cord_assert(numThreads > 0, "need at least one thread");
+    cores_.resize(cfg_.numCores);
+    threads_.reserve(numThreads);
+    for (unsigned i = 0; i < numThreads; ++i) {
+        threads_.push_back(std::make_unique<Thread>());
+        Thread &t = *threads_.back();
+        t.tid = static_cast<ThreadId>(i);
+        t.core = static_cast<CoreId>(i % cfg_.numCores);
+        t.nextMigration = cfg_.migrationPeriodInstrs;
+        cores_[t.core].threads.push_back(i);
+    }
+}
+
+void
+Simulation::moveThread(Thread &t, CoreId newCore)
+{
+    cord_assert(newCore < cores_.size(), "bad migration target");
+    auto &from = cores_[t.core].threads;
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        if (from[i] == t.tid) {
+            from.erase(from.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    cores_[t.core].rr = 0;
+    t.core = newCore;
+    cores_[newCore].threads.push_back(t.tid);
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::spawn(ThreadId tid, Task<void> body)
+{
+    cord_assert(tid < threads_.size(), "spawn: unknown thread ", tid);
+    Thread &t = *threads_[tid];
+    cord_assert(!t.spawned, "thread ", tid, " spawned twice");
+    auto h = body.releaseHandle();
+    t.drv.bind(h, &h.promise());
+    t.spawned = true;
+}
+
+void
+Simulation::addDetector(Detector *d)
+{
+    cord_assert(d != nullptr, "null detector");
+    detectors_.push_back(d);
+}
+
+std::uint64_t
+Simulation::instrCount(ThreadId tid) const
+{
+    cord_assert(tid < threads_.size(), "unknown thread ", tid);
+    return threads_[tid]->instrs;
+}
+
+std::uint64_t
+Simulation::readChecksum(ThreadId tid) const
+{
+    cord_assert(tid < threads_.size(), "unknown thread ", tid);
+    return threads_[tid]->readChecksum;
+}
+
+void
+Simulation::foldChecksum(Thread &t, Addr addr, std::uint64_t value)
+{
+    // FNV-1a over (addr, value) pairs in program order.
+    auto mix = [&](std::uint64_t x) {
+        t.readChecksum ^= x;
+        t.readChecksum *= 0x100000001b3ULL;
+    };
+    mix(addr);
+    mix(value);
+}
+
+void
+Simulation::scheduleCore(CoreId c)
+{
+    Core &core = cores_[c];
+    if (core.eventScheduled)
+        return;
+    core.eventScheduled = true;
+    events_.schedule(events_.now(), [this, c] { coreStep(c); },
+                     EventQueue::kPriCore);
+}
+
+void
+Simulation::coreStep(CoreId c)
+{
+    Core &core = cores_[c];
+    core.eventScheduled = false;
+    const std::size_t n = core.threads.size();
+    for (std::size_t probe = 0; probe < n; ++probe) {
+        Thread &t = *threads_[core.threads[core.rr]];
+        core.rr = static_cast<unsigned>((core.rr + 1) % n);
+        if (t.finished || t.waiting || t.blocked || !t.spawned)
+            continue;
+        if (runThread(t))
+            return; // one in-flight operation per (blocking) core
+    }
+}
+
+bool
+Simulation::runThread(Thread &t)
+{
+    // Scheduler-driven migration: re-pin the thread periodically.
+    if (cfg_.migrationPeriodInstrs != 0 &&
+        t.instrs >= t.nextMigration && cfg_.numCores > 1) {
+        t.nextMigration = t.instrs + cfg_.migrationPeriodInstrs;
+        const CoreId target =
+            static_cast<CoreId>((t.core + 1) % cfg_.numCores);
+        moveThread(t, target);
+        scheduleCore(target);
+        return false; // this core's slot is free again
+    }
+    for (;;) {
+        if (t.computeRemaining > 0) {
+            std::uint64_t chunk = t.computeRemaining;
+            if (gate_)
+                chunk = gate_->allowance(t.tid, chunk);
+            if (chunk == 0) {
+                // Gate-blocked: retry after a short delay.
+                t.blocked = true;
+                events_.scheduleIn(kGateRetryTicks, [this, &t] {
+                    t.blocked = false;
+                    scheduleCore(t.core);
+                });
+                return true;
+            }
+            t.instrs += chunk;
+            if (gate_)
+                gate_->onRetired(t.tid, chunk);
+            t.computeRemaining -= static_cast<std::uint32_t>(chunk);
+            const Tick cost = std::max<Tick>(
+                1, (chunk + cfg_.issueWidth - 1) / cfg_.issueWidth);
+            t.waiting = true;
+            events_.scheduleIn(cost, [this, &t] {
+                t.waiting = false;
+                if (t.computeRemaining == 0)
+                    t.drv.complete(OpResult{});
+                scheduleCore(t.core);
+            }, EventQueue::kPriResponse);
+            return true;
+        }
+
+        if (!t.drv.hasPending()) {
+            if (t.drv.finished()) {
+                finishThread(t);
+                return false; // slot free for another thread
+            }
+            t.drv.resume();
+            continue;
+        }
+
+        const OpRequest &op = t.drv.pending();
+        switch (op.type) {
+          case OpType::Compute:
+            if (op.count == 0) {
+                t.drv.complete(OpResult{});
+                continue;
+            }
+            t.computeRemaining = op.count * cfg_.computeScale;
+            continue;
+
+          case OpType::Yield:
+            t.waiting = true;
+            events_.scheduleIn(1, [this, &t] {
+                t.waiting = false;
+                t.drv.complete(OpResult{});
+                scheduleCore(t.core);
+            }, EventQueue::kPriResponse);
+            return true;
+
+          case OpType::Load:
+          case OpType::Store:
+          case OpType::Rmw:
+            if (gate_ && gate_->allowance(t.tid, 1) == 0) {
+                t.blocked = true;
+                events_.scheduleIn(kGateRetryTicks, [this, &t] {
+                    t.blocked = false;
+                    scheduleCore(t.core);
+                });
+                return true;
+            }
+            issueMemOp(t);
+            return true;
+        }
+    }
+}
+
+void
+Simulation::issueMemOp(Thread &t)
+{
+    const OpRequest op = t.drv.pending();
+    t.instrs += 1;
+    if (gate_)
+        gate_->onRetired(t.tid, 1);
+
+    // An RMW needs ownership like a store; a failed CAS is modeled with
+    // store timing too (the line is fetched exclusively either way).
+    const bool writeForTiming = op.type != OpType::Load;
+    Tick completion;
+    if (gate_) {
+        // Replay: the gate defines the ordering, so operations must
+        // commit in issue order -- variable memory latencies would let
+        // a later-issued read commit before an earlier-issued write.
+        completion = events_.now() + 1;
+    } else {
+        completion =
+            mem_.access(t.core, op.addr, writeForTiming, events_.now())
+                .completion;
+    }
+
+    t.waiting = true;
+    events_.schedule(completion, [this, &t, op] {
+        t.waiting = false;
+        commitMemOp(t, op);
+        scheduleCore(t.core);
+    }, EventQueue::kPriResponse);
+}
+
+void
+Simulation::publish(Thread &t, Addr addr, AccessKind kind,
+                    std::uint64_t value)
+{
+    MemEvent ev;
+    ev.tick = events_.now();
+    ev.tid = t.tid;
+    ev.core = t.core;
+    ev.addr = wordAddr(addr);
+    ev.kind = kind;
+    ev.instrCount = t.instrs;
+    ev.value = value;
+    ++committed_;
+    for (Detector *d : detectors_)
+        d->onAccess(ev);
+}
+
+void
+Simulation::commitMemOp(Thread &t, const OpRequest &op)
+{
+    OpResult res;
+    switch (op.type) {
+      case OpType::Load: {
+        res.value = values_.load(op.addr);
+        res.success = true;
+        foldChecksum(t, op.addr, res.value);
+        publish(t, op.addr,
+                op.sync ? AccessKind::SyncRead : AccessKind::DataRead,
+                res.value);
+        break;
+      }
+      case OpType::Store: {
+        values_.store(op.addr, op.value);
+        publish(t, op.addr,
+                op.sync ? AccessKind::SyncWrite : AccessKind::DataWrite,
+                op.value);
+        break;
+      }
+      case OpType::Rmw: {
+        auto [old, ok] = values_.compareAndSwap(op.addr, op.expected,
+                                                op.value);
+        res.value = old;
+        res.success = ok;
+        foldChecksum(t, op.addr, old);
+        publish(t, op.addr, AccessKind::SyncRead, old);
+        if (ok)
+            publish(t, op.addr, AccessKind::SyncWrite, op.value);
+        break;
+      }
+      default:
+        cord_panic("commitMemOp on non-memory op");
+    }
+    t.drv.complete(res);
+}
+
+void
+Simulation::finishThread(Thread &t)
+{
+    cord_assert(!t.finished, "thread finished twice");
+    t.finished = true;
+    ++finishedThreads_;
+    for (Detector *d : detectors_)
+        d->onThreadEnd(t.tid, t.instrs);
+    if (allFinished()) {
+        finishTick_ = events_.now();
+        for (Detector *d : detectors_)
+            d->finish();
+    }
+}
+
+bool
+Simulation::run(Tick maxTicks)
+{
+    for (unsigned i = 0; i < threads_.size(); ++i)
+        cord_assert(threads_[i]->spawned, "thread ", i, " never spawned");
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        if (!cores_[c].threads.empty())
+            scheduleCore(static_cast<CoreId>(c));
+    }
+    while (!allFinished()) {
+        if (events_.empty())
+            cord_panic("event queue drained with ", finishedThreads_,
+                       " of ", threads_.size(), " threads finished");
+        if (events_.now() > maxTicks)
+            return false; // watchdog: likely an injected deadlock
+        events_.step();
+    }
+    return true;
+}
+
+} // namespace cord

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The execution engine: drives thread coroutines on simulated cores,
+ * times every operation through the MESI memory hierarchy, commits
+ * accesses to the functional value store in a deterministic global
+ * order, and publishes the committed access stream to the attached
+ * detectors (CORD, vector-clock variants, Ideal).
+ *
+ * An optional ExecutionGate throttles instruction retirement, which is
+ * how deterministic replay (cord/replay.h) enforces the recorded order.
+ */
+
+#ifndef CORD_CPU_SIMULATION_H
+#define CORD_CPU_SIMULATION_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cord/detector.h"
+#include "mem/machine_config.h"
+#include "mem/timing_mem.h"
+#include "runtime/sim_task.h"
+#include "runtime/value_store.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/**
+ * Controls instruction retirement (deterministic replay).
+ *
+ * allowance() asks how many of the next @p want instructions thread
+ * @p tid may retire right now; 0 means the thread must wait and retry.
+ */
+class ExecutionGate
+{
+  public:
+    virtual ~ExecutionGate() = default;
+
+    virtual std::uint64_t allowance(ThreadId tid, std::uint64_t want) = 0;
+
+    /** @p n instructions were retired by @p tid. */
+    virtual void onRetired(ThreadId tid, std::uint64_t n) = 0;
+};
+
+/** One simulated execution of a set of thread coroutines. */
+class Simulation : public CordTrafficSink
+{
+  public:
+    /**
+     * @param cfg machine topology and timing
+     * @param numThreads number of software threads that will be spawned
+     */
+    Simulation(const MachineConfig &cfg, unsigned numThreads);
+    ~Simulation() override;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /**
+     * Bind @p body as the program of thread @p tid, pinned to core
+     * tid % numCores.  Must be called once per tid before run().
+     */
+    void spawn(ThreadId tid, Task<void> body);
+
+    /** Attach a passive detector (not owned). */
+    void addDetector(Detector *d);
+
+    /** Install a retirement gate (replay); may be nullptr. */
+    void setGate(ExecutionGate *g) { gate_ = g; }
+
+    /**
+     * Run until every thread finishes or @p maxTicks elapses.
+     * @return true when all threads finished (false = watchdog fired,
+     *         e.g. an injected synchronization removal caused a hang)
+     */
+    bool run(Tick maxTicks = kMaxTick);
+
+    /// @{ @name CordTrafficSink: charge CORD traffic to the buses
+    void raceCheck(Tick now) override { mem_.chargeRaceCheck(now); }
+    void memTsBroadcast(Tick now) override
+    {
+        mem_.chargeMemTsBroadcast(now);
+    }
+    /// @}
+
+    /** Tick at which the last thread finished. */
+    Tick finishTick() const { return finishTick_; }
+
+    bool allFinished() const { return finishedThreads_ == threads_.size(); }
+
+    /** Instructions retired by @p tid. */
+    std::uint64_t instrCount(ThreadId tid) const;
+
+    /**
+     * Order-insensitive-free checksum of every value loaded by @p tid,
+     * in program order -- two executions are observationally identical
+     * for the thread iff the checksums match (replay verification).
+     */
+    std::uint64_t readChecksum(ThreadId tid) const;
+
+    /** Total committed memory accesses (all threads). */
+    std::uint64_t committedAccesses() const { return committed_; }
+
+    ValueStore &memory() { return values_; }
+    const ValueStore &memory() const { return values_; }
+    TimingMemSystem &mem() { return mem_; }
+    EventQueue &events() { return events_; }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    struct Thread
+    {
+        ThreadId tid = 0;
+        CoreId core = 0;
+        ThreadDriver drv;
+        std::uint64_t instrs = 0;
+        std::uint64_t readChecksum = 0xcbf29ce484222325ULL; // FNV offset
+        std::uint32_t computeRemaining = 0;
+        std::uint64_t nextMigration = 0; //!< instr count of next move
+        bool spawned = false;
+        bool waiting = false; //!< an op or compute chunk is in flight
+        bool blocked = false; //!< gate-blocked; retry event pending
+        bool finished = false;
+    };
+
+    struct Core
+    {
+        std::vector<unsigned> threads; //!< indices into threads_
+        unsigned rr = 0;               //!< round-robin cursor
+        bool eventScheduled = false;
+    };
+
+    /** Schedule a core-issue event at the current tick. */
+    void scheduleCore(CoreId c);
+
+    /** Issue work for one core: pick a ready thread and advance it. */
+    void coreStep(CoreId c);
+
+    /** Advance one thread until it issues an op or finishes.
+     *  @return true when the core slot was consumed */
+    bool runThread(Thread &t);
+
+    /** Re-pin @p t to @p newCore (scheduler-driven migration). */
+    void moveThread(Thread &t, CoreId newCore);
+
+    /** Dispatch the thread's pending memory operation. */
+    void issueMemOp(Thread &t);
+
+    /** Commit a completed memory op: values, detectors, result. */
+    void commitMemOp(Thread &t, const OpRequest &op);
+
+    void publish(Thread &t, Addr addr, AccessKind kind,
+                 std::uint64_t value);
+
+    void finishThread(Thread &t);
+
+    void foldChecksum(Thread &t, Addr addr, std::uint64_t value);
+
+    /** Gate-retry delay when a thread is blocked (replay only). */
+    static constexpr Tick kGateRetryTicks = 32;
+
+    MachineConfig cfg_;
+    EventQueue events_;
+    TimingMemSystem mem_;
+    ValueStore values_;
+    // unique_ptr: ThreadDriver is immovable and in-flight events capture
+    // Thread addresses, so element addresses must be stable.
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::vector<Core> cores_;
+    std::vector<Detector *> detectors_;
+    ExecutionGate *gate_ = nullptr;
+    std::size_t finishedThreads_ = 0;
+    Tick finishTick_ = 0;
+    std::uint64_t committed_ = 0;
+};
+
+} // namespace cord
+
+#endif // CORD_CPU_SIMULATION_H

@@ -1,0 +1,179 @@
+#include "harness/experiments.h"
+
+#include "cord/ideal_detector.h"
+#include "inject/injector.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+
+namespace cord
+{
+
+DetectorSpec
+cordSpec(std::uint32_t d, std::string label)
+{
+    CordConfig cfg;
+    cfg.d = d;
+    if (label.empty())
+        label = "CORD-D" + std::to_string(d);
+    return cordSpecWith(cfg, std::move(label));
+}
+
+DetectorSpec
+cordSpecWith(const CordConfig &cfg, std::string label)
+{
+    return DetectorSpec{
+        label,
+        [cfg, label](unsigned numCores, unsigned numThreads) {
+            CordConfig c = cfg;
+            c.numCores = numCores;
+            c.numThreads = numThreads;
+            return std::make_unique<CordDetector>(c, label);
+        }};
+}
+
+namespace
+{
+
+DetectorSpec
+vcSpec(std::string label, bool infinite, const CacheGeometry &geo)
+{
+    return DetectorSpec{
+        label,
+        [infinite, geo, label](unsigned numCores, unsigned numThreads) {
+            VcConfig c;
+            c.numCores = numCores;
+            c.numThreads = numThreads;
+            c.infiniteResidency = infinite;
+            c.residency = geo;
+            return std::make_unique<VcDetector>(c, label);
+        }};
+}
+
+} // namespace
+
+DetectorSpec
+vcInfCacheSpec()
+{
+    return vcSpec("VC-InfCache", true, CacheGeometry::paperL2());
+}
+
+DetectorSpec
+vcL2CacheSpec()
+{
+    return vcSpec("VC-L2Cache", false, CacheGeometry::paperL2());
+}
+
+DetectorSpec
+vcL1CacheSpec()
+{
+    return vcSpec("VC-L1Cache", false, CacheGeometry::paperL1());
+}
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg,
+            const std::vector<DetectorSpec> &specs)
+{
+    CampaignResult res;
+
+    // Census run: clean execution; verify the workload is data-race-
+    // free (Ideal must report nothing -- our no-false-positive
+    // baseline) and count removable synchronization instances.
+    RunSetup census;
+    census.workload = cfg.workload;
+    census.params = cfg.params;
+    census.machine = cfg.machine;
+    IdealDetector cleanIdeal(cfg.params.numThreads);
+    census.detectors.push_back(&cleanIdeal);
+    const RunOutcome censusOut = runWorkload(census);
+    cord_assert(censusOut.completed, "census run did not complete");
+    res.cleanIdealRaces = cleanIdeal.races().pairs();
+    if (res.cleanIdealRaces != 0) {
+        cord_warn("workload ", cfg.workload, " has ",
+                  res.cleanIdealRaces,
+                  " pre-existing data races in a clean run");
+    }
+    res.totalInstances = censusOut.totalInstances();
+    const Tick watchdog = censusOut.ticks * 25 + 1000000;
+
+    Rng rng(cfg.seed * 2654435761ULL + 1);
+    res.injections = cfg.injections;
+
+    for (unsigned i = 0; i < cfg.injections; ++i) {
+        const InjectionPick pick =
+            pickUniformInstance(censusOut.syncCensus, rng);
+        RemoveOneInstance filter(pick);
+
+        IdealDetector ideal(cfg.params.numThreads);
+        std::vector<std::unique_ptr<Detector>> dets;
+        for (const DetectorSpec &s : specs)
+            dets.push_back(s.make(cfg.machine.numCores,
+                                  cfg.params.numThreads));
+
+        RunSetup setup;
+        setup.workload = cfg.workload;
+        setup.params = cfg.params;
+        setup.machine = cfg.machine;
+        setup.filter = &filter;
+        setup.maxTicks = watchdog;
+        setup.detectors.push_back(&ideal);
+        for (auto &d : dets)
+            setup.detectors.push_back(d.get());
+
+        const RunOutcome out = runWorkload(setup);
+        if (!out.completed)
+            ++res.timeouts;
+
+        if (!ideal.races().problemDetected())
+            continue; // removal was redundant (Figure 10 denominator)
+        ++res.manifested;
+        res.idealRawRaces += ideal.races().pairs();
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+            const auto &label = specs[s].label;
+            if (dets[s]->races().problemDetected())
+                ++res.problems[label];
+            res.rawRaces[label] += dets[s]->races().pairs();
+        }
+    }
+    return res;
+}
+
+PerfPoint
+runPerf(const std::string &workload, const WorkloadParams &params,
+        const MachineConfig &machine, const CordConfig &cordCfg)
+{
+    PerfPoint p;
+
+    // Baseline: no order-recording, no detection hardware at all.
+    {
+        RunSetup base;
+        base.workload = workload;
+        base.params = params;
+        base.machine = machine;
+        const RunOutcome out = runWorkload(base);
+        cord_assert(out.completed, "baseline perf run did not complete");
+        p.baselineTicks = out.ticks;
+        p.syncInstances = out.totalInstances();
+    }
+
+    // CORD attached, its traffic charged to the address/timestamp bus.
+    {
+        CordConfig cfg = cordCfg;
+        cfg.numCores = machine.numCores;
+        cfg.numThreads = params.numThreads;
+        CordDetector cord(cfg);
+        RunSetup run;
+        run.workload = workload;
+        run.params = params;
+        run.machine = machine;
+        run.detectors.push_back(&cord);
+        run.timingCord = &cord;
+        const RunOutcome out = runWorkload(run);
+        cord_assert(out.completed, "CORD perf run did not complete");
+        p.cordTicks = out.ticks;
+        p.raceCheckTraffic = cord.stats().get("cord.raceChecks");
+        p.memTsTraffic = cord.stats().get("cord.memTsUpdates");
+    }
+    return p;
+}
+
+} // namespace cord

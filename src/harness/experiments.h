@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Experiment drivers for the paper's evaluation (Section 4):
+ * injection campaigns (Figures 10, 12-17) and performance-overhead
+ * comparisons (Figure 11).
+ */
+
+#ifndef CORD_HARNESS_EXPERIMENTS_H
+#define CORD_HARNESS_EXPERIMENTS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cord/cord_detector.h"
+#include "cord/vc_detector.h"
+#include "harness/runner.h"
+
+namespace cord
+{
+
+/** A named detector configuration instantiated fresh for every run. */
+struct DetectorSpec
+{
+    std::string label;
+    std::function<std::unique_ptr<Detector>(unsigned numCores,
+                                            unsigned numThreads)>
+        make;
+};
+
+/** CORD with margin @p d and default paper parameters. */
+DetectorSpec cordSpec(std::uint32_t d, std::string label = "");
+
+/** CORD with an explicit configuration (ablations); numCores and
+ *  numThreads are overwritten per run. */
+DetectorSpec cordSpecWith(const CordConfig &cfg, std::string label);
+
+/** Vector-clock InfCache / L2Cache / L1Cache configurations. */
+DetectorSpec vcInfCacheSpec();
+DetectorSpec vcL2CacheSpec();
+DetectorSpec vcL1CacheSpec();
+
+/** One injection campaign over one application. */
+struct CampaignConfig
+{
+    std::string workload = "barnes";
+    WorkloadParams params;
+    MachineConfig machine;
+    unsigned injections = 40;
+    std::uint64_t seed = 0xC02D; // campaign RNG seed
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignResult
+{
+    unsigned injections = 0;
+    unsigned manifested = 0; //!< runs where Ideal found >=1 data race
+    unsigned timeouts = 0;   //!< runs the injected bug deadlocked
+    std::uint64_t totalInstances = 0; //!< census: removable instances
+    std::uint64_t cleanIdealRaces = 0; //!< should be 0 (no false pos.)
+
+    /** Per-detector: manifested runs in which it found >=1 race. */
+    std::map<std::string, unsigned> problems;
+
+    /** Per-detector: racing pairs summed over manifested runs. */
+    std::map<std::string, std::uint64_t> rawRaces;
+
+    std::uint64_t idealRawRaces = 0;
+
+    /** Figure 10 quantity. */
+    double
+    manifestationRate() const
+    {
+        return injections ? static_cast<double>(manifested) / injections
+                          : 0.0;
+    }
+
+    /** Problem detection rate of @p label relative to Ideal. */
+    double
+    problemRateVsIdeal(const std::string &label) const
+    {
+        auto it = problems.find(label);
+        if (it == problems.end() || manifested == 0)
+            return 0.0;
+        return static_cast<double>(it->second) / manifested;
+    }
+
+    /** Problem detection of @p label relative to detector @p base. */
+    double
+    problemRateVs(const std::string &label,
+                  const std::string &base) const
+    {
+        auto a = problems.find(label);
+        auto b = problems.find(base);
+        if (a == problems.end() || b == problems.end() ||
+            b->second == 0)
+            return 0.0;
+        return static_cast<double>(a->second) / b->second;
+    }
+
+    /** Raw race detection of @p label relative to Ideal. */
+    double
+    rawRateVsIdeal(const std::string &label) const
+    {
+        auto it = rawRaces.find(label);
+        if (it == rawRaces.end() || idealRawRaces == 0)
+            return 0.0;
+        return static_cast<double>(it->second) / idealRawRaces;
+    }
+
+    /** Raw race detection of @p label relative to @p base. */
+    double
+    rawRateVs(const std::string &label, const std::string &base) const
+    {
+        auto a = rawRaces.find(label);
+        auto b = rawRaces.find(base);
+        if (a == rawRaces.end() || b == rawRaces.end() || b->second == 0)
+            return 0.0;
+        return static_cast<double>(a->second) / b->second;
+    }
+};
+
+/**
+ * Run a full injection campaign: one clean census run (verifying no
+ * pre-existing races) followed by `injections` single-removal runs,
+ * each observed by a fresh Ideal detector plus fresh instances of
+ * every spec.
+ */
+CampaignResult runCampaign(const CampaignConfig &cfg,
+                           const std::vector<DetectorSpec> &specs);
+
+/** Figure 11: relative execution time with CORD attached. */
+struct PerfPoint
+{
+    Tick baselineTicks = 0;
+    Tick cordTicks = 0;
+    std::uint64_t raceCheckTraffic = 0;
+    std::uint64_t memTsTraffic = 0;
+    std::uint64_t syncInstances = 0;
+
+    double
+    relative() const
+    {
+        return baselineTicks
+                   ? static_cast<double>(cordTicks) / baselineTicks
+                   : 1.0;
+    }
+};
+
+PerfPoint runPerf(const std::string &workload,
+                  const WorkloadParams &params,
+                  const MachineConfig &machine, const CordConfig &cord);
+
+} // namespace cord
+
+#endif // CORD_HARNESS_EXPERIMENTS_H

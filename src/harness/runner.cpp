@@ -1,0 +1,67 @@
+#include "harness/runner.h"
+
+#include <memory>
+
+#include "runtime/address_space.h"
+#include "sim/logging.h"
+
+namespace cord
+{
+
+RunOutcome
+runWorkload(const RunSetup &setup)
+{
+    auto workload = makeWorkload(setup.workload);
+
+    AddressSpace as;
+    workload->setup(setup.params, as);
+    if (setup.captureSpace)
+        *setup.captureSpace = as;
+
+    SyncRuntime rt(setup.filter);
+
+    // Thread contexts must outlive the simulation (coroutine frames
+    // reference them).
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    for (unsigned t = 0; t < setup.params.numThreads; ++t) {
+        auto ctx = std::make_unique<ThreadCtx>();
+        ctx->tid = static_cast<ThreadId>(t);
+        ctx->rng.reseed(setup.params.seed * 1000003 + t);
+        ctxs.push_back(std::move(ctx));
+    }
+
+    Simulation sim(setup.machine, setup.params.numThreads);
+    for (Detector *d : setup.detectors)
+        sim.addDetector(d);
+    if (setup.timingCord)
+        setup.timingCord->setTrafficSink(&sim);
+    if (setup.gate)
+        sim.setGate(setup.gate);
+
+    for (unsigned t = 0; t < setup.params.numThreads; ++t)
+        sim.spawn(static_cast<ThreadId>(t),
+                  workload->body(rt, *ctxs[t]));
+
+    RunOutcome out;
+    out.completed =
+        sim.run(setup.maxTicks == 0 ? kMaxTick : setup.maxTicks);
+    out.ticks = sim.events().now();
+    out.accesses = sim.committedAccesses();
+    out.syncCensus = rt.perThreadInstances();
+    out.syncCensus.resize(setup.params.numThreads, 0);
+    out.lockInstances = rt.lockInstances();
+    out.flagInstances = rt.flagInstances();
+    out.removedInstances = rt.removedInstances();
+    out.footprintWords = sim.memory().footprintWords();
+    for (unsigned t = 0; t < setup.params.numThreads; ++t) {
+        out.instrs.push_back(sim.instrCount(static_cast<ThreadId>(t)));
+        out.readChecksums.push_back(
+            sim.readChecksum(static_cast<ThreadId>(t)));
+    }
+
+    if (setup.timingCord)
+        setup.timingCord->setTrafficSink(nullptr);
+    return out;
+}
+
+} // namespace cord

@@ -1,0 +1,72 @@
+#include "harness/table.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cord_assert(cells.size() == headers_.size(),
+                "row width ", cells.size(), " != header width ",
+                headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::percent(double ratio, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+void
+TextTable::print(const std::string &title) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > width[c])
+                width[c] = row[c].size();
+        }
+    }
+
+    std::printf("\n== %s ==\n", title.c_str());
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::printf("%s%-*s", c ? "  " : "",
+                        static_cast<int>(width[c]), cells[c].c_str());
+        std::printf("\n");
+    };
+    printRow(headers_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    for (std::size_t i = 0; i + 2 < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_)
+        printRow(row);
+    std::fflush(stdout);
+}
+
+} // namespace cord

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark binaries, which print
+ * the paper's figures as per-application rows.
+ */
+
+#ifndef CORD_HARNESS_TABLE_H
+#define CORD_HARNESS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cord
+{
+
+/** Accumulates rows and prints an aligned ASCII table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Add one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format helper: "87.3%". */
+    static std::string percent(double ratio, int decimals = 1);
+
+    /** Format helper: fixed-point number. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Render to stdout with a title line. */
+    void print(const std::string &title) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cord
+
+#endif // CORD_HARNESS_TABLE_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fault injection: removal of one dynamic synchronization instance
+ * (paper Section 3.4).
+ *
+ * "We model this kind of error by injecting a single dynamic instance
+ *  of missing synchronization into each run of the application.
+ *  Injection is random with a uniform distribution, so each dynamic
+ *  synchronization operation has an equal chance of being removed."
+ *
+ * A census run counts the removable instances each thread issues; an
+ * injection run then removes one (thread, in-thread-sequence) instance.
+ * Identifying instances per thread keeps injected runs deterministic
+ * and replayable regardless of interleaving.
+ */
+
+#ifndef CORD_INJECT_INJECTOR_H
+#define CORD_INJECT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sync.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Identifies one dynamic synchronization instance. */
+struct InjectionPick
+{
+    ThreadId tid = 0;
+    std::uint64_t seqInThread = 0;
+};
+
+/**
+ * Choose an instance uniformly over all dynamic instances counted by a
+ * census run (per-thread instance counts).
+ */
+inline InjectionPick
+pickUniformInstance(const std::vector<std::uint64_t> &census, Rng &rng)
+{
+    std::uint64_t total = 0;
+    for (auto c : census)
+        total += c;
+    cord_assert(total > 0, "census found no synchronization instances");
+    std::uint64_t n = rng.below(total);
+    for (ThreadId t = 0; t < census.size(); ++t) {
+        if (n < census[t])
+            return {t, n};
+        n -= census[t];
+    }
+    cord_panic("unreachable: pickUniformInstance overran the census");
+}
+
+/** Removes exactly one dynamic synchronization instance. */
+class RemoveOneInstance : public SyncInstanceFilter
+{
+  public:
+    explicit RemoveOneInstance(const InjectionPick &pick) : pick_(pick) {}
+
+    bool
+    skipInstance(ThreadId tid, std::uint64_t seqInThread,
+                 SyncInstanceKind kind) override
+    {
+        if (tid == pick_.tid && seqInThread == pick_.seqInThread) {
+            fired_ = true;
+            kind_ = kind;
+            return true;
+        }
+        return false;
+    }
+
+    /** True once the targeted instance was encountered and removed. */
+    bool fired() const { return fired_; }
+
+    /** Kind of the removed instance (valid when fired()). */
+    SyncInstanceKind removedKind() const { return kind_; }
+
+  private:
+    InjectionPick pick_;
+    bool fired_ = false;
+    SyncInstanceKind kind_ = SyncInstanceKind::LockPair;
+};
+
+} // namespace cord
+
+#endif // CORD_INJECT_INJECTOR_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with true-LRU replacement.
+ *
+ * Used both by the timing model (MESI state per line) and by the
+ * detectors' functional cache models (CORD/vector-clock state per line).
+ * Only tags and per-line metadata are stored; data values live in the
+ * global functional memory (see runtime/value_store.h).
+ */
+
+#ifndef CORD_MEM_CACHE_ARRAY_H
+#define CORD_MEM_CACHE_ARRAY_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/geometry.h"
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/**
+ * Set-associative tag array holding one StateT per resident line.
+ *
+ * @tparam StateT per-line metadata (must be default-constructible)
+ */
+template <typename StateT>
+class CacheArray
+{
+  public:
+    /** A resident line: tag state plus the metadata payload. */
+    struct Line
+    {
+        bool valid = false;
+        Addr addr = 0;          //!< line-aligned address
+        std::uint64_t lru = 0;  //!< larger == more recently used
+        StateT state{};
+    };
+
+    explicit CacheArray(const CacheGeometry &geo)
+        : geo_(geo), lines_(geo.numSets() * geo.ways)
+    {
+    }
+
+    const CacheGeometry &geometry() const { return geo_; }
+
+    /** Find a resident line without touching LRU state. */
+    Line *
+    find(Addr a)
+    {
+        const Addr la = lineAddr(a);
+        auto [begin, end] = setRange(la);
+        for (std::size_t i = begin; i < end; ++i) {
+            if (lines_[i].valid && lines_[i].addr == la)
+                return &lines_[i];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(Addr a) const
+    {
+        return const_cast<CacheArray *>(this)->find(a);
+    }
+
+    /** Find a resident line and mark it most-recently-used. */
+    Line *
+    touch(Addr a)
+    {
+        Line *line = find(a);
+        if (line)
+            line->lru = ++lruClock_;
+        return line;
+    }
+
+    /**
+     * Insert a line (which must not already be resident), evicting the
+     * LRU way of its set if the set is full.
+     *
+     * @param a line-aligned (or any) address
+     * @param[out] victim filled with the evicted line when one existed
+     * @return reference to the newly resident line
+     */
+    Line &
+    insert(Addr a, std::optional<Line> &victim)
+    {
+        const Addr la = lineAddr(a);
+        cord_assert(!find(la), "inserting already-resident line ", la);
+        auto [begin, end] = setRange(la);
+        std::size_t slot = begin;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (!lines_[i].valid) {
+                slot = i;
+                break;
+            }
+            if (lines_[i].lru < lines_[slot].lru)
+                slot = i;
+        }
+        if (lines_[slot].valid)
+            victim = lines_[slot];
+        else
+            victim.reset();
+        lines_[slot] = Line{};
+        lines_[slot].valid = true;
+        lines_[slot].addr = la;
+        lines_[slot].lru = ++lruClock_;
+        return lines_[slot];
+    }
+
+    /** Remove a line if resident; @return true when removed. */
+    bool
+    invalidate(Addr a)
+    {
+        Line *line = find(a);
+        if (!line)
+            return false;
+        line->valid = false;
+        return true;
+    }
+
+    /** Visit every resident line (e.g. the CORD cache walker). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &line : lines_) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
+    /** Number of currently resident lines. */
+    std::size_t
+    residentCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &line : lines_)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    /** [begin, end) index range of the set containing @p lineAddr. */
+    std::pair<std::size_t, std::size_t>
+    setRange(Addr la) const
+    {
+        const std::size_t set =
+            static_cast<std::size_t>((la / geo_.lineBytes) %
+                                     geo_.numSets());
+        return {set * geo_.ways, (set + 1) * geo_.ways};
+    }
+
+    CacheGeometry geo_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace cord
+
+#endif // CORD_MEM_CACHE_ARRAY_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cache geometry descriptor (size / line size / associativity).
+ */
+
+#ifndef CORD_MEM_GEOMETRY_H
+#define CORD_MEM_GEOMETRY_H
+
+#include <cstdint>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes = 32 * 1024; //!< paper: 32KB L2, 8KB L1
+    std::uint32_t lineBytes = kLineBytes;
+    std::uint32_t ways = 4;
+
+    std::uint32_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    std::uint32_t
+    numSets() const
+    {
+        return numLines() / ways;
+    }
+
+    /** Sanity-check the geometry (power-of-two sets, divisibility). */
+    void
+    validate() const
+    {
+        if (sizeBytes % lineBytes != 0 || numLines() % ways != 0)
+            cord_fatal("invalid cache geometry: size=", sizeBytes,
+                       " line=", lineBytes, " ways=", ways);
+        const std::uint32_t sets = numSets();
+        if (sets == 0 || (sets & (sets - 1)) != 0)
+            cord_fatal("cache set count must be a nonzero power of two, "
+                       "got ", sets);
+    }
+
+    /** Paper's reduced 8KB private L1 (Section 3.1). */
+    static CacheGeometry
+    paperL1()
+    {
+        return CacheGeometry{8 * 1024, kLineBytes, 2};
+    }
+
+    /** Paper's reduced 32KB private L2 (Section 3.1). */
+    static CacheGeometry
+    paperL2()
+    {
+        return CacheGeometry{32 * 1024, kLineBytes, 4};
+    }
+};
+
+} // namespace cord
+
+#endif // CORD_MEM_GEOMETRY_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Machine configuration mirroring the paper's experimental setup
+ * (Section 3.1): a 4-processor CMP with 4-issue 4 GHz cores, private
+ * 8KB L1 and 32KB L2 caches (reduced sizes to match reduced inputs),
+ * a 128-bit 1 GHz on-chip data bus, an address/timestamp bus at half
+ * the data bus frequency, 600-cycle round-trip memory latency and
+ * 20-cycle L2-to-L2 cache-to-cache latency.
+ */
+
+#ifndef CORD_MEM_MACHINE_CONFIG_H
+#define CORD_MEM_MACHINE_CONFIG_H
+
+#include <cstdint>
+
+#include "mem/geometry.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/**
+ * Coherence organization.  The paper evaluates bus-based snooping
+ * (CMPs/SMPs); it notes a "straightforward extension of this protocol
+ * to a directory-based system is possible" (Section 2.5) -- we provide
+ * that extension: misses indirect through a directory at the memory
+ * controller, invalidations and race checks are directed at the exact
+ * sharer set instead of broadcast.
+ */
+enum class CoherenceKind : std::uint8_t
+{
+    Snooping,
+    Directory,
+};
+
+/** Timing and topology parameters for the simulated CMP. */
+struct MachineConfig
+{
+    unsigned numCores = 4;
+
+    CoherenceKind coherence = CoherenceKind::Snooping;
+
+    /** Directory lookup latency (Directory mode only). */
+    Tick directoryLatency = 16;
+
+    /** Three-hop forward latency owner->requester (Directory mode). */
+    Tick forwardLatency = 30;
+
+    CacheGeometry l1 = CacheGeometry::paperL1();
+    CacheGeometry l2 = CacheGeometry::paperL2();
+
+    /** Core issue width: compute blocks retire this many instrs/cycle. */
+    unsigned issueWidth = 4;
+
+    /** L1 hit latency (processor cycles). */
+    Tick l1HitLatency = 1;
+
+    /** Private L2 hit latency. */
+    Tick l2HitLatency = 8;
+
+    /** L2-to-L2 cache-to-cache round trip (paper: 20 cycles). */
+    Tick cacheToCacheLatency = 20;
+
+    /** Main memory round trip (paper: 600 processor cycles). */
+    Tick memoryLatency = 600;
+
+    /**
+     * Address/timestamp bus occupancy per transaction: one bus cycle at
+     * half the 1 GHz data bus frequency = 8 processor cycles at 4 GHz.
+     */
+    Tick addrBusOccupancy = 8;
+
+    /**
+     * Data bus occupancy per 64-byte line: four 128-bit beats at 1 GHz
+     * = 16 processor cycles.
+     */
+    Tick dataBusOccupancy = 16;
+
+    /**
+     * Off-chip bus occupancy per line: 64 bytes over a quad-pumped
+     * 64-bit 200 MHz bus ~ 80 processor cycles.
+     */
+    Tick offChipBusOccupancy = 80;
+
+    /** Latency of an ownership upgrade (S->M) bus transaction. */
+    Tick upgradeLatency = 8;
+
+    /**
+     * Multiplier applied to workload compute blocks.  The synthetic
+     * workloads are far more memory- and synchronization-dense per
+     * simulated cycle than the real SPLASH-2 binaries (we do not model
+     * their arithmetic); performance-overhead runs (Figure 11) scale
+     * compute up to restore a realistic compute-to-synchronization
+     * ratio.  Detection experiments use 1 (interleaving preserved).
+     */
+    unsigned computeScale = 1;
+
+    /**
+     * When nonzero, each thread is migrated to the next core every
+     * this-many retired instructions (exercises the paper's
+     * Section 2.7.4 thread-migration handling end to end).
+     */
+    std::uint64_t migrationPeriodInstrs = 0;
+};
+
+} // namespace cord
+
+#endif // CORD_MEM_MACHINE_CONFIG_H

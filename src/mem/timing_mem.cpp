@@ -1,0 +1,182 @@
+#include "mem/timing_mem.h"
+
+#include <optional>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+TimingMemSystem::TimingMemSystem(const MachineConfig &cfg)
+    : cfg_(cfg),
+      addrBus_(cfg.addrBusOccupancy),
+      dataBus_(cfg.dataBusOccupancy),
+      memBus_(cfg.offChipBusOccupancy)
+{
+    cfg_.l1.validate();
+    cfg_.l2.validate();
+    l2_.reserve(cfg_.numCores);
+    l1_.reserve(cfg_.numCores);
+    for (unsigned i = 0; i < cfg_.numCores; ++i) {
+        l2_.emplace_back(cfg_.l2);
+        l1_.emplace_back(cfg_.l1);
+    }
+}
+
+bool
+TimingMemSystem::remoteHolders(CoreId core, Addr line,
+                               std::vector<CoreId> &holders) const
+{
+    holders.clear();
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (c == core)
+            continue;
+        const auto *l = l2_[c].find(line);
+        if (l && l->state.mesi != Mesi::Invalid)
+            holders.push_back(c);
+    }
+    return !holders.empty();
+}
+
+void
+TimingMemSystem::handleL2Victim(CoreId core,
+                                const CacheArray<L2State>::Line &victim,
+                                Tick now)
+{
+    // Inclusion: L1 copy goes with the L2 line.
+    l1_[core].invalidate(victim.addr);
+    if (victim.state.mesi == Mesi::Modified) {
+        // Fire-and-forget write-back: occupies the buses but does not
+        // extend the latency of the access that triggered the eviction.
+        const Tick grant = addrBus_.acquire(now);
+        dataBus_.acquire(grant);
+        memBus_.acquire(grant);
+    }
+}
+
+TimingResult
+TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
+{
+    cord_assert(core < cfg_.numCores, "bad core id ", core);
+    const Addr line = lineAddr(addr);
+
+    auto &l2 = l2_[core];
+    auto &l1 = l1_[core];
+    auto *l2Line = l2.touch(line);
+    const bool l1Present = l1.touch(line) != nullptr;
+
+    TimingResult res;
+
+    if (l2Line && l2Line->state.mesi != Mesi::Invalid) {
+        // Hit in the private hierarchy.
+        const bool needUpgrade =
+            isWrite && l2Line->state.mesi == Mesi::Shared;
+        Tick done = now + (l1Present ? cfg_.l1HitLatency
+                                     : cfg_.l2HitLatency);
+        if (needUpgrade) {
+            // BusUpgr: invalidate all other copies.
+            const Tick grant = addrBus_.acquire(now);
+            done = grant + cfg_.upgradeLatency;
+            res.usedAddrBus = true;
+            for (CoreId c = 0; c < cfg_.numCores; ++c) {
+                if (c == core)
+                    continue;
+                l2_[c].invalidate(line);
+                l1_[c].invalidate(line);
+            }
+        }
+        if (isWrite) {
+            l2Line->state.mesi = Mesi::Modified;
+        } else if (l2Line->state.mesi == Mesi::Exclusive && isWrite) {
+            l2Line->state.mesi = Mesi::Modified;
+        }
+        if (!l1Present) {
+            std::optional<CacheArray<char>::Line> v;
+            l1.insert(line, v);
+        }
+        res.completion = done;
+        res.source = l1Present ? ServiceSource::L1Hit : ServiceSource::L2Hit;
+        ++serviceCounts_[static_cast<unsigned>(res.source)];
+        return res;
+    }
+
+    // Miss: BusRd / BusRdX (snooping) or a directory request.
+    res.usedAddrBus = true;
+    const Tick grant = addrBus_.acquire(now);
+    const bool directory = cfg_.coherence == CoherenceKind::Directory;
+    // In directory mode the request first indirects through the
+    // directory at the memory controller.
+    const Tick resolved =
+        directory ? grant + cfg_.directoryLatency : grant;
+    std::vector<CoreId> holders;
+    const bool snoopHit = remoteHolders(core, line, holders);
+
+    Tick done;
+    if (snoopHit) {
+        // Another private L2 supplies the line: bus snarf (snooping)
+        // or a three-hop forward (directory).
+        done = resolved + (directory ? cfg_.forwardLatency
+                                     : cfg_.cacheToCacheLatency);
+        dataBus_.acquire(resolved);
+        res.source = ServiceSource::CacheToCache;
+        if (isWrite) {
+            // All other copies invalidated; the directory sends one
+            // directed invalidation per sharer instead of a broadcast.
+            for (CoreId c : holders) {
+                l2_[c].invalidate(line);
+                l1_[c].invalidate(line);
+                if (directory)
+                    addrBus_.acquire(resolved);
+            }
+        } else {
+            // Suppliers downgrade to Shared.
+            for (CoreId c : holders) {
+                auto *h = l2_[c].find(line);
+                if (h)
+                    h->state.mesi = Mesi::Shared;
+            }
+        }
+    } else {
+        // Serviced by main memory.
+        done = resolved + cfg_.memoryLatency;
+        memBus_.acquire(resolved);
+        dataBus_.acquire(done - cfg_.dataBusOccupancy);
+        res.source = ServiceSource::Memory;
+    }
+    ++serviceCounts_[static_cast<unsigned>(res.source)];
+
+    // Install the line locally.
+    std::optional<CacheArray<L2State>::Line> victim;
+    auto &fresh = l2.insert(line, victim);
+    if (victim)
+        handleL2Victim(core, *victim, now);
+    fresh.state.mesi = isWrite ? Mesi::Modified
+                     : snoopHit ? Mesi::Shared
+                                : Mesi::Exclusive;
+    std::optional<CacheArray<char>::Line> l1Victim;
+    l1.insert(line, l1Victim);
+
+    res.completion = done;
+    return res;
+}
+
+void
+TimingMemSystem::chargeRaceCheck(Tick now)
+{
+    // Snooping: one broadcast address/timestamp bus transaction; the
+    // timestamp response rides the dedicated snoop-response wires,
+    // like coherence responses, and there is no data transfer (paper
+    // Section 2.7.2).  Directory: the check indirects through the
+    // directory (request + directed probe).
+    addrBus_.acquire(now);
+    if (cfg_.coherence == CoherenceKind::Directory)
+        addrBus_.acquire(now + cfg_.directoryLatency);
+}
+
+void
+TimingMemSystem::chargeMemTsBroadcast(Tick now)
+{
+    addrBus_.acquire(now);
+}
+
+} // namespace cord

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Timing model of the CMP's private-cache hierarchy with bus-based MESI
+ * snooping coherence.
+ *
+ * This model answers one question for each memory operation: at which
+ * tick does it complete?  Data values are kept functionally elsewhere
+ * (runtime/value_store.h); the caches here track only tags and MESI
+ * state.  Bus contention is modeled analytically through BusChannel
+ * (mem/bus.h), which is the channel through which CORD's race-check and
+ * memory-timestamp traffic perturbs performance (paper Section 4.1).
+ */
+
+#ifndef CORD_MEM_TIMING_MEM_H
+#define CORD_MEM_TIMING_MEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/bus.h"
+#include "mem/cache_array.h"
+#include "mem/machine_config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** MESI coherence states. */
+enum class Mesi : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** How a timing access was satisfied (for stats and tests). */
+enum class ServiceSource : std::uint8_t
+{
+    L1Hit,
+    L2Hit,
+    CacheToCache,
+    Memory,
+};
+
+/** Result of a timing access. */
+struct TimingResult
+{
+    Tick completion = 0;
+    ServiceSource source = ServiceSource::L1Hit;
+    bool usedAddrBus = false; //!< a bus transaction was required
+};
+
+/**
+ * Private L1+L2 per core with snooping MESI coherence across L2s.
+ *
+ * Coherence state is held at the L2; the L1 is an inclusive latency
+ * filter.  All latencies and bus occupancies come from MachineConfig.
+ */
+class TimingMemSystem
+{
+  public:
+    explicit TimingMemSystem(const MachineConfig &cfg);
+
+    /**
+     * Perform one word access and return its completion time.
+     * @param core issuing core
+     * @param addr byte address (word-aligned accesses assumed)
+     * @param isWrite store or successful RMW
+     * @param now issue tick
+     */
+    TimingResult access(CoreId core, Addr addr, bool isWrite, Tick now);
+
+    /**
+     * Charge one CORD race-check request to the address/timestamp bus
+     * (request + response; no data transfer -- paper Section 2.7.2).
+     */
+    void chargeRaceCheck(Tick now);
+
+    /**
+     * Charge one memory-timestamp update broadcast to the
+     * address/timestamp bus (paper Section 2.5).
+     */
+    void chargeMemTsBroadcast(Tick now);
+
+    /** Address/timestamp bus (exposed for stats/tests). */
+    const BusChannel &addrBus() const { return addrBus_; }
+
+    /** On-chip data bus. */
+    const BusChannel &dataBus() const { return dataBus_; }
+
+    /** Off-chip memory bus. */
+    const BusChannel &memBus() const { return memBus_; }
+
+    /** Per-source access counts. */
+    std::uint64_t
+    serviceCount(ServiceSource s) const
+    {
+        return serviceCounts_[static_cast<unsigned>(s)];
+    }
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    struct L2State
+    {
+        Mesi mesi = Mesi::Invalid;
+    };
+
+    /** True when any other core's L2 holds the line. */
+    bool remoteHolders(CoreId core, Addr line,
+                       std::vector<CoreId> &holders) const;
+
+    /** Evict handling: write back dirty victims, maintain inclusion. */
+    void handleL2Victim(CoreId core,
+                        const CacheArray<L2State>::Line &victim, Tick now);
+
+    MachineConfig cfg_;
+    BusChannel addrBus_;
+    BusChannel dataBus_;
+    BusChannel memBus_;
+    std::vector<CacheArray<L2State>> l2_;
+    std::vector<CacheArray<char>> l1_;
+    std::uint64_t serviceCounts_[4] = {0, 0, 0, 0};
+};
+
+} // namespace cord
+
+#endif // CORD_MEM_TIMING_MEM_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional memory: the architectural word values of the simulated
+ * machine.  The timing caches (mem/timing_mem.h) track only tags, so
+ * loads and stores read and update this single store at their commit
+ * tick; the commit order defined by the event queue is the machine's
+ * memory order.
+ */
+
+#ifndef CORD_RUNTIME_VALUE_STORE_H
+#define CORD_RUNTIME_VALUE_STORE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Word-granularity functional memory, zero-initialized. */
+class ValueStore
+{
+  public:
+    std::uint64_t
+    load(Addr a) const
+    {
+        auto it = words_.find(wordAddr(a));
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    void
+    store(Addr a, std::uint64_t v)
+    {
+        words_[wordAddr(a)] = v;
+    }
+
+    /** Atomic compare-and-swap at commit time.
+     *  @return pair {old value, success} */
+    std::pair<std::uint64_t, bool>
+    compareAndSwap(Addr a, std::uint64_t expected, std::uint64_t desired)
+    {
+        const std::uint64_t old = load(a);
+        if (old == expected) {
+            store(a, desired);
+            return {old, true};
+        }
+        return {old, false};
+    }
+
+    std::size_t footprintWords() const { return words_.size(); }
+
+    void clear() { words_.clear(); }
+
+    /** Iterate all written words (final-state comparison in replay). */
+    const std::unordered_map<Addr, std::uint64_t> &raw() const
+    {
+        return words_;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace cord
+
+#endif // CORD_RUNTIME_VALUE_STORE_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Discrete event simulation kernel.
+ *
+ * All timing-model components (cores, buses, memory controller) schedule
+ * callbacks on a single EventQueue.  Events at the same tick execute in
+ * (priority, insertion-order) order, which makes every simulation run
+ * bit-exactly deterministic for a given seed and configuration.
+ */
+
+#ifndef CORD_SIM_EVENT_QUEUE_H
+#define CORD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/**
+ * Deterministic priority-queue-based event scheduler.
+ *
+ * Priorities break same-tick ties: lower numeric priority runs first.
+ * Events with equal tick and priority run in insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Event priorities for same-tick ordering, lowest runs first. */
+    enum Priority : int
+    {
+        kPriBusGrant = 0,   //!< bus arbitration decisions
+        kPriResponse = 1,   //!< memory/cache responses to cores
+        kPriCore = 2,       //!< core wake-ups / issue
+        kPriDefault = 3,
+        kPriWalker = 4,     //!< background cache walker passes
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when absolute tick, must be >= now()
+     * @param cb the callback to run
+     * @param pri same-tick ordering priority
+     */
+    void
+    schedule(Tick when, Callback cb, int pri = kPriDefault)
+    {
+        cord_assert(when >= now_, "scheduling event in the past: ", when,
+                    " < ", now_);
+        heap_.push(Event{when, pri, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule a callback @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int pri = kPriDefault)
+    {
+        schedule(now_ + delta, std::move(cb), pri);
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run a single event (the earliest one).
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        Event ev = heap_.top();
+        heap_.pop();
+        cord_assert(ev.when >= now_, "event queue time went backwards");
+        now_ = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or @p maxTicks simulated time
+     * passes (a watchdog against accidental livelock in tests).
+     * @return number of events executed
+     */
+    std::uint64_t
+    run(Tick maxTicks = kMaxTick)
+    {
+        std::uint64_t executed = 0;
+        const Tick limit =
+            (maxTicks == kMaxTick) ? kMaxTick : now_ + maxTicks;
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            step();
+            ++executed;
+        }
+        return executed;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int pri;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.pri != b.pri)
+                return a.pri > b.pri;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace cord
+
+#endif // CORD_SIM_EVENT_QUEUE_H

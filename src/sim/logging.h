@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs), fatal()
+ * for user/configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef CORD_SIM_LOGGING_H
+#define CORD_SIM_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cord
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort: something happened that should never happen (a simulator bug). */
+#define cord_panic(...) \
+    ::cord::detail::panicImpl(__FILE__, __LINE__, \
+                              ::cord::detail::format(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user error. */
+#define cord_fatal(...) \
+    ::cord::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::cord::detail::format(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define cord_warn(...) \
+    ::cord::detail::warnImpl(::cord::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define cord_inform(...) \
+    ::cord::detail::informImpl(::cord::detail::format(__VA_ARGS__))
+
+/** Internal invariant check; always on (simulation speed is not gated
+ *  by these checks in our experiments). */
+#define cord_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::cord::detail::panicImpl(__FILE__, __LINE__, \
+                ::cord::detail::format("assertion '" #cond "' failed: ", \
+                                       ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace cord
+
+#endif // CORD_SIM_LOGGING_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and fault
+ * injection.  A fixed, seedable generator (xoshiro256**) guarantees that
+ * every experiment in this repository is exactly reproducible from its
+ * seed, independent of platform or standard-library implementation.
+ */
+
+#ifndef CORD_SIM_RNG_H
+#define CORD_SIM_RNG_H
+
+#include <cstdint>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Used for workload shapes (which addresses a thread touches, task
+ * ordering) and for the injection campaign's choice of which dynamic
+ * synchronization instance to remove.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound), bound > 0 (unbiased via rejection). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        cord_assert(bound > 0, "Rng::below requires a positive bound");
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        cord_assert(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace cord
+
+#endif // CORD_SIM_RNG_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal named-statistics registry.
+ *
+ * Components register scalar counters by dotted name; the harness and
+ * benchmark binaries read them back for the paper's tables.  Values are
+ * plain 64-bit counters or doubles; no binning is needed for the CORD
+ * experiments.
+ */
+
+#ifndef CORD_SIM_STATS_H
+#define CORD_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+/** A registry of named scalar statistics. */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to an absolute value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Read counter @p name; zero when never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** True when the counter exists. */
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.find(name) != counters_.end();
+    }
+
+    /** All counters, sorted by name (map ordering). */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Drop every counter. */
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace cord
+
+#endif // CORD_SIM_STATS_H

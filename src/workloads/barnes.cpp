@@ -1,0 +1,156 @@
+/**
+ * @file
+ * barnes -- Barnes-Hut N-body analog (paper input: 2048 bodies).
+ *
+ * Synchronization idiom: per-cell locks during irregular tree build,
+ * barriers between phases, a lock-protected global energy accumulator.
+ * Sharing: bodies hash into shared tree cells; the force phase reads
+ * cells written by other threads in the build phase.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Barnes final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "barnes", "2048 bodies",
+            "768*scale bodies, 384*scale tree cells, 2 timesteps",
+            "per-cell locks + phase barriers + reduction lock"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nBodies_ = 768 * p.scale;
+        nCells_ = 384 * p.scale;
+        nCellLocks_ = std::max(1u, nCells_ / 4);
+        bodies_ = as.allocSharedLineAligned(nBodies_ * kBodyWords,
+                                            "bodies");
+        cells_ = as.allocSharedLineAligned(nCells_ * kCellWords,
+                                           "cells");
+        cellLocks_.clear();
+        for (unsigned i = 0; i < nCellLocks_; ++i)
+            cellLocks_.push_back(
+                as.allocSync("cellLock[" + std::to_string(i) + "]"));
+        energyLock_ = as.allocSync("energyLock");
+        energy_ = as.allocSharedLineAligned(1, "energy");
+        phaseBarrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+
+        // Deterministic body->cell placement per step.
+        Rng rng(p.seed * 7919 + 13);
+        bodyCell_.assign(kSteps, {});
+        for (unsigned s = 0; s < kSteps; ++s) {
+            bodyCell_[s].resize(nBodies_);
+            for (unsigned b = 0; b < nBodies_; ++b)
+                bodyCell_[s][b] =
+                    static_cast<unsigned>(rng.below(nCells_));
+        }
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kBodyWords = 4;
+    static constexpr unsigned kCellWords = 4;
+    static constexpr unsigned kSteps = 2;
+
+    Addr cellAddr(unsigned c) const { return cells_ + c * kCellWords *
+                                      kWordBytes; }
+    Addr bodyAddr(unsigned b) const { return bodies_ + b * kBodyWords *
+                                      kWordBytes; }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned nt = params_.numThreads;
+        const unsigned tid = ctx.tid;
+        for (unsigned step = 0; step < kSteps; ++step) {
+            // Tree build: insert my bodies into shared cells under the
+            // owning cell lock.
+            for (unsigned b = tid; b < nBodies_; b += nt) {
+                const unsigned c = bodyCell_[step][b];
+                const Addr lockVar = cellLocks_[c % nCellLocks_];
+                co_await rt.lock(ctx, lockVar);
+                co_await patterns::bumpWords(cellAddr(c), kCellWords,
+                                             b + 1);
+                co_await rt.unlock(ctx, lockVar);
+                co_await opCompute(30);
+            }
+            co_await rt.barrier(ctx, phaseBarrier_);
+
+            // Force computation: read several cells, update my bodies;
+            // fold energy into the global accumulator occasionally.
+            Rng walk(params_.seed + step * 131 + tid);
+            for (unsigned b = tid; b < nBodies_; b += nt) {
+                std::uint64_t acc = 0;
+                for (unsigned k = 0; k < 6; ++k) {
+                    const unsigned c =
+                        static_cast<unsigned>(walk.below(nCells_));
+                    acc += co_await patterns::readWords(cellAddr(c), 2);
+                }
+                co_await patterns::fillWords(bodyAddr(b), kBodyWords,
+                                             acc);
+                co_await opCompute(50);
+                if ((b / nt) % 8 == 7) {
+                    if (params_.includeKnownRaces) {
+                        // Pre-existing bug mode: the energy reduction
+                        // is performed without its lock (paper
+                        // Section 3.4's "actual bug" analog).
+                        co_await patterns::bumpWords(energy_, 1,
+                                                     acc & 0xff);
+                    } else {
+                        co_await rt.lock(ctx, energyLock_);
+                        co_await patterns::bumpWords(energy_, 1,
+                                                     acc & 0xff);
+                        co_await rt.unlock(ctx, energyLock_);
+                    }
+                }
+            }
+            co_await rt.barrier(ctx, phaseBarrier_);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nBodies_ = 0;
+    unsigned nCells_ = 0;
+    unsigned nCellLocks_ = 0;
+    Addr bodies_ = 0;
+    Addr cells_ = 0;
+    std::vector<Addr> cellLocks_;
+    Addr energyLock_ = 0;
+    Addr energy_ = 0;
+    BarrierVars phaseBarrier_;
+    std::vector<std::vector<unsigned>> bodyCell_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBarnes()
+{
+    return std::make_unique<Barnes>();
+}
+
+} // namespace cord

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * cholesky -- sparse Cholesky factorization analog (paper input:
+ * tk23.O).  The paper's worst case for CORD overhead (3%): very
+ * frequent, fine-grained synchronization.
+ *
+ * Synchronization idiom: a global lock-protected task queue of column
+ * tasks plus per-column locks for the scattered updates each task
+ * performs.  Sharing: a column is updated by many tasks executed by
+ * different threads.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Cholesky final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "cholesky", "tk23.O",
+            "160*scale supernode tasks over 160*scale columns",
+            "global task-queue lock + per-column update locks"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nCols_ = 160 * p.scale;
+        cols_ = as.allocSharedLineAligned(nCols_ * kColWords, "columns");
+        colLocks_.clear();
+        for (unsigned i = 0; i < nCols_; ++i)
+            colLocks_.push_back(
+                as.allocSync("colLock[" + std::to_string(i) + "]"));
+        queue_ = patterns::SharedStack::make(as, nCols_ + 4);
+        startFlag_ = as.allocSync("startFlag");
+        doneBarrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+
+        // Elimination structure: each column task updates 3 later
+        // columns (deterministic from the seed).
+        Rng rng(p.seed * 104729 + 3);
+        updates_.assign(nCols_, {});
+        for (unsigned j = 0; j < nCols_; ++j) {
+            for (unsigned k = 0; k < 3; ++k) {
+                updates_[j].push_back(static_cast<unsigned>(
+                    (j + 1 + rng.below(nCols_)) % nCols_));
+            }
+        }
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kColWords = 8;
+
+    Addr colAddr(unsigned j) const { return cols_ + j * kColWords *
+                                     kWordBytes; }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        if (ctx.tid == 0) {
+            // Seed the task queue before workers start (plain stores:
+            // workers are held off by the start flag).
+            for (unsigned j = 0; j < nCols_; ++j)
+                co_await opStore(queue_.slots + j * kWordBytes, j);
+            co_await opStore(queue_.head, nCols_);
+            co_await rt.flagSet(ctx, startFlag_, 1);
+        } else {
+            co_await rt.flagWait(ctx, startFlag_, 1);
+        }
+
+        for (;;) {
+            const std::uint64_t task =
+                co_await patterns::stackPop(rt, ctx, queue_);
+            if (task == patterns::kStackEmpty)
+                break;
+            const unsigned j =
+                static_cast<unsigned>(task) % nCols_;
+            // Factor column j under its own lock (concurrent tasks may
+            // still be scattering updates into it), then scatter
+            // updates into its dependent columns under their locks.
+            co_await rt.lock(ctx, colLocks_[j]);
+            co_await patterns::readWords(colAddr(j), kColWords);
+            co_await rt.unlock(ctx, colLocks_[j]);
+            co_await opCompute(40);
+            for (unsigned k : updates_[j]) {
+                co_await rt.lock(ctx, colLocks_[k]);
+                co_await patterns::bumpWords(colAddr(k), 4, j + 1);
+                co_await rt.unlock(ctx, colLocks_[k]);
+                co_await opCompute(15);
+            }
+        }
+        co_await rt.barrier(ctx, doneBarrier_);
+        // Verification sweep: every thread reads a slice of the matrix.
+        for (unsigned j = ctx.tid; j < nCols_; j += params_.numThreads)
+            co_await patterns::readWords(colAddr(j), 2);
+    }
+
+    WorkloadParams params_;
+    unsigned nCols_ = 0;
+    Addr cols_ = 0;
+    std::vector<Addr> colLocks_;
+    patterns::SharedStack queue_;
+    Addr startFlag_ = 0;
+    BarrierVars doneBarrier_;
+    std::vector<std::vector<unsigned>> updates_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCholesky()
+{
+    return std::make_unique<Cholesky>();
+}
+
+} // namespace cord

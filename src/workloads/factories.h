@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal factory declarations for the workload registry.
+ */
+
+#ifndef CORD_WORKLOADS_FACTORIES_H
+#define CORD_WORKLOADS_FACTORIES_H
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace cord
+{
+
+std::unique_ptr<Workload> makeBarnes();
+std::unique_ptr<Workload> makeCholesky();
+std::unique_ptr<Workload> makeFft();
+std::unique_ptr<Workload> makeFmm();
+std::unique_ptr<Workload> makeLu();
+std::unique_ptr<Workload> makeOcean();
+std::unique_ptr<Workload> makeRadiosity();
+std::unique_ptr<Workload> makeRadix();
+std::unique_ptr<Workload> makeRaytrace();
+std::unique_ptr<Workload> makeVolrend();
+std::unique_ptr<Workload> makeWaterN2();
+std::unique_ptr<Workload> makeWaterSp();
+
+} // namespace cord
+
+#endif // CORD_WORKLOADS_FACTORIES_H

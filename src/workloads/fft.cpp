@@ -1,0 +1,111 @@
+/**
+ * @file
+ * fft -- radix-sqrt(n) six-step FFT analog (paper input: 2^16 points,
+ * "m16").  Barrier-dominated: butterfly stages on thread-private row
+ * blocks separated by all-to-all transposes that read rows written by
+ * every other thread.
+ */
+
+#include <vector>
+
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Fft final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "fft", "65536 points (m16)",
+            "64*scale rows x 16 words, 3 butterfly+transpose stages",
+            "phase barriers around all-to-all transposes"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nRows_ = 64 * p.scale;
+        src_ = as.allocSharedLineAligned(nRows_ * kRowWords, "srcMatrix");
+        dst_ = as.allocSharedLineAligned(nRows_ * kRowWords, "dstMatrix");
+        barrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kRowWords = 16;
+    static constexpr unsigned kStages = 3;
+
+    Addr
+    rowAddr(Addr matrix, unsigned r) const
+    {
+        return matrix + static_cast<Addr>(r) * kRowWords * kWordBytes;
+    }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned nt = params_.numThreads;
+        const unsigned tid = ctx.tid;
+        Addr from = src_;
+        Addr to = dst_;
+        for (unsigned stage = 0; stage < kStages; ++stage) {
+            // Butterfly on my rows (private in this phase).
+            for (unsigned r = tid; r < nRows_; r += nt) {
+                const std::uint64_t v =
+                    co_await patterns::readWords(rowAddr(from, r),
+                                                 kRowWords);
+                co_await patterns::fillWords(rowAddr(from, r), kRowWords,
+                                             v + stage);
+                co_await opCompute(60);
+            }
+            co_await rt.barrier(ctx, barrier_);
+
+            // Transpose: my destination rows gather one word from each
+            // source row -- including rows just written by others.
+            for (unsigned r = tid; r < nRows_; r += nt) {
+                std::uint64_t acc = 0;
+                for (unsigned c = 0; c < nRows_; ++c) {
+                    const Addr a = rowAddr(from, c) +
+                                   (r % kRowWords) * kWordBytes;
+                    acc += (co_await opLoad(a)).value;
+                }
+                co_await patterns::fillWords(rowAddr(to, r), kRowWords,
+                                             acc);
+                co_await opCompute(30);
+            }
+            co_await rt.barrier(ctx, barrier_);
+            std::swap(from, to);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nRows_ = 0;
+    Addr src_ = 0;
+    Addr dst_ = 0;
+    BarrierVars barrier_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft()
+{
+    return std::make_unique<Fft>();
+}
+
+} // namespace cord

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * fmm -- adaptive Fast Multipole Method analog (paper input: 2048
+ * particles).  Irregular tree traversal: lock-protected interaction
+ * lists are built concurrently, then multipole expansions are combined
+ * upward under per-node locks, with barriers between passes.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Fmm final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "fmm", "2048 particles",
+            "256*scale tree nodes, list building + upward pass",
+            "per-node locks for lists/expansions + pass barriers"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nNodes_ = 256 * p.scale;
+        nodes_ = as.allocSharedLineAligned(nNodes_ * kNodeWords, "nodes");
+        nodeLocks_.clear();
+        for (unsigned i = 0; i < nNodes_; ++i)
+            nodeLocks_.push_back(
+                as.allocSync("nodeLock[" + std::to_string(i) + "]"));
+        barrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+
+        // Each node's parent (a shallow random tree) and each thread's
+        // interaction partners, deterministic from the seed.
+        Rng rng(p.seed * 65537 + 11);
+        parent_.resize(nNodes_);
+        for (unsigned i = 0; i < nNodes_; ++i)
+            parent_[i] = i == 0
+                             ? 0
+                             : static_cast<unsigned>(rng.below(i));
+        partners_.assign(nNodes_, {});
+        for (unsigned i = 0; i < nNodes_; ++i) {
+            for (unsigned k = 0; k < 4; ++k)
+                partners_[i].push_back(
+                    static_cast<unsigned>(rng.below(nNodes_)));
+        }
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kNodeWords = 8;
+
+    Addr
+    nodeAddr(unsigned i) const
+    {
+        return nodes_ + static_cast<Addr>(i) * kNodeWords * kWordBytes;
+    }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned nt = params_.numThreads;
+        const unsigned tid = ctx.tid;
+
+        // Pass 1: build interaction lists -- append partner info into
+        // shared nodes under their locks.
+        for (unsigned i = tid; i < nNodes_; i += nt) {
+            for (unsigned partner : partners_[i]) {
+                co_await rt.lock(ctx, nodeLocks_[partner]);
+                co_await patterns::bumpWords(nodeAddr(partner), 4,
+                                             i + 1);
+                co_await rt.unlock(ctx, nodeLocks_[partner]);
+                co_await opCompute(25);
+            }
+        }
+        co_await rt.barrier(ctx, barrier_);
+
+        // Pass 2: upward pass -- fold every node into its parent's
+        // expansion under the parent lock.  Only the list half (words
+        // 0..3) is read unlocked; expansions (words 4..7) are written
+        // under their owner's lock, so the phases do not conflict.
+        for (unsigned i = tid; i < nNodes_; i += nt) {
+            const std::uint64_t v =
+                co_await patterns::readWords(nodeAddr(i), 4);
+            const unsigned par = parent_[i];
+            co_await rt.lock(ctx, nodeLocks_[par]);
+            co_await patterns::bumpWords(nodeAddr(par) + 4 * kWordBytes,
+                                         4, v & 0xffff);
+            co_await rt.unlock(ctx, nodeLocks_[par]);
+            co_await opCompute(35);
+        }
+        co_await rt.barrier(ctx, barrier_);
+
+        // Pass 3: evaluate -- read partners' expansions (words 4..5),
+        // accumulate into my node's list half (words 0..1): reads and
+        // writes of this phase never overlap.
+        for (unsigned i = tid; i < nNodes_; i += nt) {
+            std::uint64_t acc = 0;
+            for (unsigned partner : partners_[i])
+                acc += co_await patterns::readWords(
+                    nodeAddr(partner) + 4 * kWordBytes, 2);
+            co_await patterns::fillWords(nodeAddr(i), 2, acc);
+            co_await opCompute(45);
+        }
+        co_await rt.barrier(ctx, barrier_);
+    }
+
+    WorkloadParams params_;
+    unsigned nNodes_ = 0;
+    Addr nodes_ = 0;
+    std::vector<Addr> nodeLocks_;
+    BarrierVars barrier_;
+    std::vector<unsigned> parent_;
+    std::vector<std::vector<unsigned>> partners_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFmm()
+{
+    return std::make_unique<Fmm>();
+}
+
+} // namespace cord

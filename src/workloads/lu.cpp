@@ -1,0 +1,133 @@
+/**
+ * @file
+ * lu -- blocked dense LU factorization analog (paper input: 512x512
+ * matrix).  Barrier-separated elimination steps: at step k, the
+ * diagonal block's owner factors it, perimeter-block owners read it,
+ * interior-block owners read the perimeter.  All cross-thread sharing
+ * flows through the step barriers.
+ */
+
+#include <vector>
+
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Lu final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "lu", "512x512 matrix, 16x16 blocks",
+            "(12*scale)^2 blocks of 16 words, 2D-scatter ownership",
+            "step barriers (daxpy pipeline)"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nb_ = 12 * p.scale; // blocks per dimension
+        blocks_ = as.allocSharedLineAligned(nb_ * nb_ * kBlockWords,
+                                            "blocks");
+        barrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kBlockWords = 16;
+
+    Addr
+    blockAddr(unsigned i, unsigned j) const
+    {
+        return blocks_ +
+               static_cast<Addr>(i * nb_ + j) * kBlockWords * kWordBytes;
+    }
+
+    /** 2D-scatter block ownership, as in SPLASH-2 LU. */
+    unsigned
+    owner(unsigned i, unsigned j) const
+    {
+        return (i + 2 * j) % params_.numThreads;
+    }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned tid = ctx.tid;
+        for (unsigned k = 0; k < nb_; ++k) {
+            // Factor the diagonal block.
+            if (owner(k, k) == tid) {
+                const std::uint64_t v = co_await patterns::readWords(
+                    blockAddr(k, k), kBlockWords);
+                co_await patterns::fillWords(blockAddr(k, k),
+                                             kBlockWords, v + k + 1);
+                co_await opCompute(80);
+            }
+            co_await rt.barrier(ctx, barrier_);
+
+            // Perimeter blocks: owners read the diagonal block.
+            for (unsigned j = k + 1; j < nb_; ++j) {
+                if (owner(k, j) == tid) {
+                    const std::uint64_t d = co_await patterns::readWords(
+                        blockAddr(k, k), 4);
+                    co_await patterns::bumpWords(blockAddr(k, j),
+                                                 kBlockWords, d);
+                    co_await opCompute(40);
+                }
+                if (owner(j, k) == tid) {
+                    const std::uint64_t d = co_await patterns::readWords(
+                        blockAddr(k, k), 4);
+                    co_await patterns::bumpWords(blockAddr(j, k),
+                                                 kBlockWords, d);
+                    co_await opCompute(40);
+                }
+            }
+            co_await rt.barrier(ctx, barrier_);
+
+            // Interior blocks: owners read their perimeter blocks.
+            for (unsigned i = k + 1; i < nb_; ++i) {
+                for (unsigned j = k + 1; j < nb_; ++j) {
+                    if (owner(i, j) != tid)
+                        continue;
+                    const std::uint64_t a = co_await patterns::readWords(
+                        blockAddr(i, k), 4);
+                    const std::uint64_t b = co_await patterns::readWords(
+                        blockAddr(k, j), 4);
+                    co_await patterns::bumpWords(blockAddr(i, j), 8,
+                                                 a + b);
+                    co_await opCompute(60);
+                }
+            }
+            co_await rt.barrier(ctx, barrier_);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nb_ = 0;
+    Addr blocks_ = 0;
+    BarrierVars barrier_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLu()
+{
+    return std::make_unique<Lu>();
+}
+
+} // namespace cord

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ocean -- regular-grid ocean simulation analog (paper input: 130x130
+ * grid).  Red-black Gauss-Seidel style sweeps over row bands with
+ * barriers between sweeps; neighbour rows at band boundaries are the
+ * shared data; a lock-protected global residual reduction ends each
+ * iteration.
+ */
+
+#include <vector>
+
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Ocean final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "ocean", "130x130 grid",
+            "(32*scale*threads) rows x 16 columns, 3 red-black iterations",
+            "sweep barriers + residual reduction lock"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        rows_ = 32 * p.scale * p.numThreads;
+        grid_ = as.allocSharedLineAligned(rows_ * kCols, "grid");
+        residualLock_ = as.allocSync("residualLock");
+        residual_ = as.allocSharedLineAligned(1, "residual");
+        barrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kCols = 16;
+    static constexpr unsigned kIters = 3;
+
+    Addr
+    cell(unsigned r, unsigned c) const
+    {
+        return grid_ + static_cast<Addr>(r * kCols + c) * kWordBytes;
+    }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned nt = params_.numThreads;
+        const unsigned tid = ctx.tid;
+        const unsigned band = rows_ / nt;
+        const unsigned r0 = tid * band;
+        const unsigned r1 = r0 + band;
+
+        for (unsigned iter = 0; iter < kIters; ++iter) {
+            for (unsigned color = 0; color < 2; ++color) {
+                std::uint64_t localResid = 0;
+                for (unsigned r = r0; r < r1; ++r) {
+                    if ((r & 1) != color)
+                        continue;
+                    for (unsigned c = 1; c + 1 < kCols; c += 2) {
+                        // 5-point stencil: north/south rows may belong
+                        // to a neighbouring thread's band.
+                        std::uint64_t acc =
+                            (co_await opLoad(cell(r, c - 1))).value +
+                            (co_await opLoad(cell(r, c + 1))).value;
+                        if (r > 0)
+                            acc += (co_await opLoad(cell(r - 1, c))).value;
+                        if (r + 1 < rows_)
+                            acc += (co_await opLoad(cell(r + 1, c))).value;
+                        co_await opStore(cell(r, c), acc / 4 + 1);
+                        localResid += acc & 0xf;
+                    }
+                    co_await opCompute(20);
+                }
+                // Fold the sweep residual into the global reduction.
+                co_await rt.lock(ctx, residualLock_);
+                co_await patterns::bumpWords(residual_, 1,
+                                             localResid & 0xff);
+                co_await rt.unlock(ctx, residualLock_);
+                co_await rt.barrier(ctx, barrier_);
+            }
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned rows_ = 0;
+    Addr grid_ = 0;
+    Addr residualLock_ = 0;
+    Addr residual_ = 0;
+    BarrierVars barrier_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeOcean()
+{
+    return std::make_unique<Ocean>();
+}
+
+} // namespace cord

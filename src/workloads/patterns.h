@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared building blocks for the synthetic SPLASH-2 analogs: bulk
+ * read/update helpers and a lock-protected shared work stack.
+ *
+ * All helpers are coroutines issuing *data* accesses (the protecting
+ * locks are taken by the callers through SyncRuntime), so an injected
+ * lock removal exposes exactly these accesses to data races.
+ */
+
+#ifndef CORD_WORKLOADS_PATTERNS_H
+#define CORD_WORKLOADS_PATTERNS_H
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/address_space.h"
+#include "runtime/sim_task.h"
+#include "runtime/sync.h"
+#include "sim/types.h"
+
+namespace cord
+{
+namespace patterns
+{
+
+/** Read @p n consecutive shared words; returns their sum. */
+inline Task<std::uint64_t>
+readWords(Addr base, unsigned n)
+{
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < n; ++i)
+        sum += (co_await opLoad(base + i * kWordBytes)).value;
+    co_return sum;
+}
+
+/** Read-modify-write @p n consecutive shared words (adds @p delta). */
+inline Task<void>
+bumpWords(Addr base, unsigned n, std::uint64_t delta)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr a = base + i * kWordBytes;
+        const std::uint64_t v = (co_await opLoad(a)).value;
+        co_await opStore(a, v + delta);
+    }
+}
+
+/** Write @p n consecutive shared words. */
+inline Task<void>
+fillWords(Addr base, unsigned n, std::uint64_t value)
+{
+    for (unsigned i = 0; i < n; ++i)
+        co_await opStore(base + i * kWordBytes, value + i);
+}
+
+/**
+ * A bounded LIFO work stack in shared memory, protected by a lock.
+ * Layout: one head-count word plus capacity slot words.
+ */
+struct SharedStack
+{
+    Addr lock = 0;
+    Addr head = 0;  //!< number of items currently stacked
+    Addr slots = 0; //!< slot i at slots + i*kWordBytes
+    unsigned capacity = 0;
+
+    static SharedStack
+    make(AddressSpace &as, unsigned capacity, std::string name = "stack")
+    {
+        SharedStack s;
+        s.lock = as.allocSync(name + ".lock");
+        s.head = as.allocSharedLineAligned(1 + capacity, name);
+        s.slots = s.head + kWordBytes;
+        s.capacity = capacity;
+        return s;
+    }
+};
+
+/** Sentinel returned by pop() on an empty stack. */
+constexpr std::uint64_t kStackEmpty = ~0ULL;
+
+/** Push under the stack's lock (a removable sync instance). */
+inline Task<void>
+stackPush(SyncRuntime &rt, ThreadCtx &ctx, const SharedStack &s,
+          std::uint64_t v)
+{
+    co_await rt.lock(ctx, s.lock);
+    const std::uint64_t h = (co_await opLoad(s.head)).value;
+    if (h < s.capacity) {
+        co_await opStore(s.slots + h * kWordBytes, v);
+        co_await opStore(s.head, h + 1);
+    }
+    co_await rt.unlock(ctx, s.lock);
+}
+
+/** Pop under the stack's lock; kStackEmpty when drained. */
+inline Task<std::uint64_t>
+stackPop(SyncRuntime &rt, ThreadCtx &ctx, const SharedStack &s)
+{
+    co_await rt.lock(ctx, s.lock);
+    const std::uint64_t h = (co_await opLoad(s.head)).value;
+    std::uint64_t v = kStackEmpty;
+    if (h > 0 && h <= s.capacity) {
+        v = (co_await opLoad(s.slots + (h - 1) * kWordBytes)).value;
+        co_await opStore(s.head, h - 1);
+    }
+    co_await rt.unlock(ctx, s.lock);
+    co_return v;
+}
+
+} // namespace patterns
+} // namespace cord
+
+#endif // CORD_WORKLOADS_PATTERNS_H

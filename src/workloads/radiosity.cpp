@@ -1,0 +1,159 @@
+/**
+ * @file
+ * radiosity -- hierarchical radiosity analog (paper input: -test).
+ * The most irregular SPLASH-2 application: per-thread task queues with
+ * work stealing (locking a victim's queue), per-patch locks on the
+ * scene data, and dynamically spawned subdivision tasks.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Radiosity final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "radiosity", "-test scene",
+            "160*scale patches, per-thread queues with stealing",
+            "per-thread task-queue locks + per-patch locks"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nPatches_ = 160 * p.scale;
+        patches_ = as.allocSharedLineAligned(nPatches_ * kPatchWords,
+                                             "patches");
+        patchLocks_.clear();
+        for (unsigned i = 0; i < nPatches_; ++i)
+            patchLocks_.push_back(
+                as.allocSync("patchLock[" + std::to_string(i) + "]"));
+        queues_.clear();
+        for (unsigned t = 0; t < p.numThreads; ++t)
+            queues_.push_back(patterns::SharedStack::make(
+                as, nPatches_ * 2 + 8));
+        startBarrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+
+        // Interaction partner of each patch (deterministic).  Partners
+        // concentrate on a hot subset -- in real radiosity the root
+        // patches interact with nearly everything, which is what makes
+        // its locking contended.
+        Rng rng(p.seed * 31337 + 5);
+        partner_.resize(nPatches_);
+        const unsigned hot = std::max(4u, nPatches_ / 16);
+        for (unsigned i = 0; i < nPatches_; ++i)
+            partner_[i] = static_cast<unsigned>(rng.below(hot));
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kPatchWords = 8;
+
+    Addr
+    patchAddr(unsigned i) const
+    {
+        return patches_ + static_cast<Addr>(i) * kPatchWords * kWordBytes;
+    }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned nt = params_.numThreads;
+        const unsigned tid = ctx.tid;
+        const patterns::SharedStack &myQ = queues_[tid];
+
+        // Seed my own queue with my patches (plain stores; the start
+        // barrier orders all seeding before any pop or steal).
+        unsigned mine = 0;
+        for (unsigned i = tid; i < nPatches_; i += nt) {
+            co_await opStore(myQ.slots + mine * kWordBytes, i);
+            ++mine;
+        }
+        co_await opStore(myQ.head, mine);
+        co_await rt.barrier(ctx, startBarrier_);
+
+        unsigned failedSteals = 0;
+        std::uint64_t processed = 0;
+        const std::uint64_t budget = nPatches_ * 3;
+        while (failedSteals < 2 * nt && processed < budget) {
+            // Pop from my queue; steal from a random victim when empty.
+            std::uint64_t task =
+                co_await patterns::stackPop(rt, ctx, myQ);
+            if (task == patterns::kStackEmpty) {
+                const unsigned victim =
+                    static_cast<unsigned>(ctx.rng.below(nt));
+                task = co_await patterns::stackPop(rt, ctx,
+                                                   queues_[victim]);
+            }
+            if (task == patterns::kStackEmpty) {
+                ++failedSteals;
+                co_await opCompute(60);
+                continue;
+            }
+            failedSteals = 0;
+            ++processed;
+            const unsigned i = static_cast<unsigned>(task) % nPatches_;
+            const unsigned j = partner_[i];
+
+            // Gather energy between patch i and its partner j, under
+            // both patch locks (ordered by index to avoid deadlock).
+            const unsigned lo = i < j ? i : j;
+            const unsigned hi = i < j ? j : i;
+            co_await rt.lock(ctx, patchLocks_[lo]);
+            if (hi != lo)
+                co_await rt.lock(ctx, patchLocks_[hi]);
+            const std::uint64_t e =
+                co_await patterns::readWords(patchAddr(i), 2);
+            co_await patterns::bumpWords(patchAddr(j), 3, e & 0xff);
+            co_await patterns::bumpWords(patchAddr(i) + 4 * kWordBytes,
+                                         3, 1);
+            if (hi != lo)
+                co_await rt.unlock(ctx, patchLocks_[hi]);
+            co_await rt.unlock(ctx, patchLocks_[lo]);
+            co_await opCompute(40);
+
+            // Subdivide occasionally: spawn a child task into my queue.
+            if ((e & 7) == 3 && processed + 1 < budget)
+                co_await patterns::stackPush(rt, ctx, myQ, j);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nPatches_ = 0;
+    Addr patches_ = 0;
+    std::vector<Addr> patchLocks_;
+    std::vector<patterns::SharedStack> queues_;
+    BarrierVars startBarrier_;
+    std::vector<unsigned> partner_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadiosity()
+{
+    return std::make_unique<Radiosity>();
+}
+
+} // namespace cord

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * radix -- parallel radix sort analog (paper input: 256K keys).
+ * Barrier-separated digit rounds: local histogramming (private), a
+ * lock-protected tree prefix combine, and a permutation phase that
+ * scatters keys into a shared destination array at offsets derived
+ * from the combined histogram.
+ */
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Radix final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "radix", "262144 keys",
+            "2048*scale keys, radix-16 digits, 2 rounds",
+            "round barriers + histogram-combine locks"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nKeys_ = 2048 * p.scale;
+        src_ = as.allocSharedLineAligned(nKeys_, "keysA");
+        dst_ = as.allocSharedLineAligned(nKeys_, "keysB");
+        globalHist_ = as.allocSharedLineAligned(kRadix, "globalHist");
+        histLock_ = as.allocSync("histLock");
+        barrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+
+        Rng rng(p.seed * 424243 + 17);
+        keys_.resize(nKeys_);
+        for (unsigned i = 0; i < nKeys_; ++i)
+            keys_[i] = rng.below(1u << 16);
+
+        // A bijective scatter permutation per round: destinations are
+        // disjoint across threads (no races in a clean run) but land
+        // interleaved through every thread's portion of the array.
+        perm_.assign(kRounds, {});
+        for (unsigned r = 0; r < kRounds; ++r) {
+            perm_[r].resize(nKeys_);
+            for (unsigned i = 0; i < nKeys_; ++i)
+                perm_[r][i] = i;
+            for (unsigned i = nKeys_ - 1; i > 0; --i) {
+                const unsigned j =
+                    static_cast<unsigned>(rng.below(i + 1));
+                std::swap(perm_[r][i], perm_[r][j]);
+            }
+        }
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kRadix = 16;
+    static constexpr unsigned kRounds = 2;
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned nt = params_.numThreads;
+        const unsigned tid = ctx.tid;
+        const unsigned chunk = nKeys_ / nt;
+        const unsigned k0 = tid * chunk;
+        const unsigned k1 = k0 + chunk;
+        Addr from = src_;
+        Addr to = dst_;
+
+        // Round 0 initialization: each thread writes its key chunk.
+        for (unsigned i = k0; i < k1; ++i)
+            co_await opStore(from + i * kWordBytes, keys_[i]);
+        co_await rt.barrier(ctx, barrier_);
+
+        for (unsigned round = 0; round < kRounds; ++round) {
+            const unsigned shift = 4 * round;
+
+            // Local histogram of my chunk (reads my slice of `from`,
+            // which other threads wrote in the previous round).
+            std::vector<unsigned> local(kRadix, 0);
+            for (unsigned i = k0; i < k1; ++i) {
+                const std::uint64_t key =
+                    (co_await opLoad(from + i * kWordBytes)).value;
+                ++local[(key >> shift) % kRadix];
+            }
+            co_await opCompute(30);
+
+            // Combine into the global histogram under the lock.
+            co_await rt.lock(ctx, histLock_);
+            for (unsigned d = 0; d < kRadix; ++d) {
+                const Addr a = globalHist_ + d * kWordBytes;
+                const std::uint64_t v = (co_await opLoad(a)).value;
+                co_await opStore(a, v + local[d]);
+            }
+            co_await rt.unlock(ctx, histLock_);
+            co_await rt.barrier(ctx, barrier_);
+
+            // Permute: read the global histogram (written by all
+            // threads), then scatter my keys through the round's
+            // permutation -- writes land interleaved with other
+            // threads' destination lines.
+            std::uint64_t base = 0;
+            for (unsigned d = 0; d < kRadix; ++d)
+                base += (co_await opLoad(globalHist_ + d * kWordBytes))
+                            .value;
+            for (unsigned i = k0; i < k1; ++i) {
+                const std::uint64_t key =
+                    (co_await opLoad(from + i * kWordBytes)).value;
+                const unsigned pos = perm_[round][i];
+                co_await opStore(to + pos * kWordBytes,
+                                 key + (base & 0xf));
+            }
+            co_await rt.barrier(ctx, barrier_);
+
+            // Reset the global histogram for the next round (thread 0).
+            if (tid == 0)
+                co_await patterns::fillWords(globalHist_, kRadix, 0);
+            co_await rt.barrier(ctx, barrier_);
+            std::swap(from, to);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nKeys_ = 0;
+    Addr src_ = 0;
+    Addr dst_ = 0;
+    Addr globalHist_ = 0;
+    Addr histLock_ = 0;
+    BarrierVars barrier_;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::vector<unsigned>> perm_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadix()
+{
+    return std::make_unique<Radix>();
+}
+
+} // namespace cord

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * raytrace -- ray tracer analog (paper input: teapot scene).  A global
+ * lock-protected work queue hands out ray-bundle jobs; the scene is
+ * read-shared; each job writes a private framebuffer tile and bumps a
+ * lock-protected global ray counter.
+ */
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Raytrace final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "raytrace", "teapot",
+            "96*scale ray-bundle jobs over a 4096*scale-word scene",
+            "global work-queue lock + statistics lock"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nJobs_ = 96 * p.scale;
+        sceneWords_ = 4096 * p.scale;
+        scene_ = as.allocSharedLineAligned(sceneWords_, "scene");
+        frame_ = as.allocSharedLineAligned(nJobs_ * kTileWords, "frame");
+        queue_ = patterns::SharedStack::make(as, nJobs_ + 4);
+        statsLock_ = as.allocSync("statsLock");
+        rayCount_ = as.allocSharedLineAligned(2, "rayCount");
+        startFlag_ = as.allocSync("startFlag");
+
+        Rng rng(p.seed * 7753 + 23);
+        jobDepth_.resize(nJobs_);
+        for (unsigned j = 0; j < nJobs_; ++j)
+            jobDepth_[j] = 4 + static_cast<unsigned>(rng.below(6));
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kTileWords = 8;
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        if (ctx.tid == 0) {
+            // Build the scene and the job queue, then open the gate.
+            for (unsigned w = 0; w < sceneWords_; ++w)
+                co_await opStore(scene_ + w * kWordBytes, w * 2654435761u);
+            for (unsigned j = 0; j < nJobs_; ++j)
+                co_await opStore(queue_.slots + j * kWordBytes, j);
+            co_await opStore(queue_.head, nJobs_);
+            co_await rt.flagSet(ctx, startFlag_, 1);
+        } else {
+            co_await rt.flagWait(ctx, startFlag_, 1);
+        }
+
+        for (;;) {
+            const std::uint64_t job =
+                co_await patterns::stackPop(rt, ctx, queue_);
+            if (job == patterns::kStackEmpty)
+                break;
+            const unsigned j = static_cast<unsigned>(job) % nJobs_;
+
+            // Trace: walk the read-only scene along a deterministic
+            // path, then write this job's framebuffer tile.
+            std::uint64_t radiance = j + 1;
+            for (unsigned d = 0; d < jobDepth_[j]; ++d) {
+                const Addr a =
+                    scene_ +
+                    ((radiance * 40503u + d) % sceneWords_) * kWordBytes;
+                radiance += (co_await opLoad(a)).value & 0xffff;
+                co_await opCompute(35);
+            }
+            co_await patterns::fillWords(
+                frame_ + static_cast<Addr>(j) * kTileWords * kWordBytes,
+                kTileWords, radiance);
+
+            // Global statistics under the stats lock.
+            co_await rt.lock(ctx, statsLock_);
+            co_await patterns::bumpWords(rayCount_, 2, jobDepth_[j]);
+            co_await rt.unlock(ctx, statsLock_);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nJobs_ = 0;
+    unsigned sceneWords_ = 0;
+    Addr scene_ = 0;
+    Addr frame_ = 0;
+    patterns::SharedStack queue_;
+    Addr statsLock_ = 0;
+    Addr rayCount_ = 0;
+    Addr startFlag_ = 0;
+    std::vector<unsigned> jobDepth_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRaytrace()
+{
+    return std::make_unique<Raytrace>();
+}
+
+} // namespace cord

@@ -1,0 +1,52 @@
+#include "workloads/workload.h"
+
+#include "sim/logging.h"
+#include "workloads/factories.h"
+
+namespace cord
+{
+
+namespace
+{
+
+struct RegistryEntry
+{
+    const char *name;
+    std::unique_ptr<Workload> (*factory)();
+};
+
+// Table 1 order.
+const RegistryEntry kRegistry[] = {
+    {"barnes", makeBarnes},       {"cholesky", makeCholesky},
+    {"fft", makeFft},             {"fmm", makeFmm},
+    {"lu", makeLu},               {"ocean", makeOcean},
+    {"radiosity", makeRadiosity}, {"radix", makeRadix},
+    {"raytrace", makeRaytrace},   {"volrend", makeVolrend},
+    {"water-n2", makeWaterN2},    {"water-sp", makeWaterSp},
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (const auto &e : kRegistry) {
+        if (name == e.name)
+            return e.factory();
+    }
+    cord_fatal("unknown workload '", name, "'");
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &e : kRegistry)
+            v.emplace_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+} // namespace cord

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * volrend -- volume renderer analog (paper input: head-sd2).  Frames
+ * are separated by barriers; within a frame, a lock-protected task
+ * queue distributes image-block jobs; rays read the shared (read-only
+ * within a frame) volume and write per-block image regions; an opacity
+ * histogram is updated under a lock.
+ */
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+class Volrend final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "volrend", "head-sd2",
+            "2 frames x 96*scale image blocks over 3072*scale voxels",
+            "frame barriers + block-queue lock + histogram lock"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        nBlocks_ = 96 * p.scale;
+        voxelWords_ = 3072 * p.scale;
+        volume_ = as.allocSharedLineAligned(voxelWords_, "volume");
+        image_ = as.allocSharedLineAligned(nBlocks_ * kBlockWords, "image");
+        counter_ = as.allocSharedLineAligned(1, "blockCounter");
+        counterLock_ = as.allocSync("counterLock");
+        histLock_ = as.allocSync("histLock");
+        hist_ = as.allocSharedLineAligned(8, "opacityHist");
+        frameBarrier_ = SyncRuntime::makeBarrier(as, p.numThreads);
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+  private:
+    static constexpr unsigned kBlockWords = 8;
+    static constexpr unsigned kFrames = 2;
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned tid = ctx.tid;
+        for (unsigned frame = 0; frame < kFrames; ++frame) {
+            // Thread 0 rotates the volume (writes) and resets the block
+            // counter; the frame barrier publishes it to everyone.
+            if (tid == 0) {
+                for (unsigned w = 0; w < voxelWords_; ++w)
+                    co_await opStore(volume_ + w * kWordBytes,
+                                     (w + 1) * (frame + 3));
+                co_await opStore(counter_, 0);
+            }
+            co_await rt.barrier(ctx, frameBarrier_);
+
+            // Dynamic block self-scheduling off a shared counter.
+            for (;;) {
+                co_await rt.lock(ctx, counterLock_);
+                const std::uint64_t b = (co_await opLoad(counter_)).value;
+                if (b < nBlocks_)
+                    co_await opStore(counter_, b + 1);
+                co_await rt.unlock(ctx, counterLock_);
+                if (b >= nBlocks_)
+                    break;
+
+                // Cast rays: read voxels along the block's path.
+                std::uint64_t opacity = 0;
+                for (unsigned d = 0; d < 10; ++d) {
+                    const Addr a = volume_ +
+                                   ((b * 17 + d * 5) % voxelWords_) *
+                                       kWordBytes;
+                    opacity += (co_await opLoad(a)).value & 0xff;
+                    co_await opCompute(25);
+                }
+                co_await patterns::fillWords(
+                    image_ + static_cast<Addr>(b) * kBlockWords *
+                                 kWordBytes,
+                    kBlockWords, opacity);
+
+                // Shared opacity histogram under its lock -- or,
+                // in known-races mode, without it (the benign
+                // statistics race real volrend ships with).
+                if (!params_.includeKnownRaces)
+                    co_await rt.lock(ctx, histLock_);
+                co_await patterns::bumpWords(
+                    hist_ + (opacity % 8) * kWordBytes, 1, 1);
+                if (!params_.includeKnownRaces)
+                    co_await rt.unlock(ctx, histLock_);
+            }
+            co_await rt.barrier(ctx, frameBarrier_);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned nBlocks_ = 0;
+    unsigned voxelWords_ = 0;
+    Addr volume_ = 0;
+    Addr image_ = 0;
+    Addr counter_ = 0;
+    Addr counterLock_ = 0;
+    Addr histLock_ = 0;
+    Addr hist_ = 0;
+    BarrierVars frameBarrier_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVolrend()
+{
+    return std::make_unique<Volrend>();
+}
+
+} // namespace cord

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload framework: synthetic SPLASH-2 analogs.
+ *
+ * The paper evaluates CORD on the SPLASH-2 suite (Table 1).  We cannot
+ * run the original binaries inside this repository, so each application
+ * is reproduced as a synthetic workload with the same *synchronization
+ * idiom* and data-sharing pattern -- which is what determines both the
+ * races created by an injected synchronization removal and CORD's
+ * ability to observe them (DESIGN.md Section 2).  Each workload
+ * documents the paper's input set and the scaled-down analog we run.
+ */
+
+#ifndef CORD_WORKLOADS_WORKLOAD_H
+#define CORD_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/address_space.h"
+#include "runtime/sim_task.h"
+#include "runtime/sync.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Scaling and seeding of one workload run. */
+struct WorkloadParams
+{
+    unsigned numThreads = 4;
+    unsigned scale = 1;      //!< input-set multiplier (1 = default bench size)
+    std::uint64_t seed = 1;  //!< shared-structure and per-thread RNG seed
+
+    /**
+     * Include the applications' *pre-existing* data races.  The paper
+     * (Section 3.4) notes several SPLASH-2 applications ship with data
+     * races -- mostly benign portability problems, at least one a real
+     * bug -- all discovered by CORD.  When enabled, barnes skips the
+     * lock on its global energy reduction (the classic unprotected
+     * statistics accumulation) and volrend updates its opacity
+     * histogram unlocked.  Off by default so the injection
+     * methodology's clean-run baseline stays race-free.
+     */
+    bool includeKnownRaces = false;
+};
+
+/** Static description of a workload (paper Table 1 row). */
+struct WorkloadMeta
+{
+    std::string name;       //!< e.g. "barnes"
+    std::string paperInput; //!< input set used in the paper
+    std::string ourInput;   //!< the scaled analog this repo runs
+    std::string syncIdiom;  //!< dominant synchronization structure
+};
+
+/**
+ * One application: allocates shared state in setup(), then produces a
+ * coroutine body per thread.  The object must outlive the simulation
+ * run (thread coroutines reference its state).
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const WorkloadMeta &meta() const = 0;
+
+    /** Allocate shared data / sync variables and precompute structure
+     *  (deterministic from params.seed). */
+    virtual void setup(const WorkloadParams &p, AddressSpace &as) = 0;
+
+    /** The program of thread @p ctx.tid. */
+    virtual Task<void> body(SyncRuntime &rt, ThreadCtx &ctx) = 0;
+};
+
+/** Factory: create a workload by name; fatal on unknown name. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** All workload names, in the paper's Table 1 order. */
+const std::vector<std::string> &workloadNames();
+
+} // namespace cord
+
+#endif // CORD_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for scalar clock utilities (cord/clock.h): the 16-bit
+ * sliding-window reconstruction (paper Section 2.7.5), order-race and
+ * D-margin synchronization tests (Sections 2.4, 2.6), plus vector
+ * clock algebra (cord/vector_clock.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cord/clock.h"
+#include "cord/vector_clock.h"
+
+namespace cord
+{
+namespace
+{
+
+TEST(ScalarClock, ReconstructIdentity)
+{
+    for (Ts64 ref : {0ULL, 1ULL, 65535ULL, 65536ULL, 123456789ULL}) {
+        EXPECT_EQ(reconstructTs(ref, static_cast<Ts16>(ref)), ref);
+    }
+}
+
+TEST(ScalarClock, ReconstructBelowReference)
+{
+    const Ts64 ref = 100000;
+    for (Ts64 delta = 1; delta < kClockWindow; delta *= 3) {
+        const Ts64 ts = ref - delta;
+        EXPECT_EQ(reconstructTs(ref, static_cast<Ts16>(ts)), ts)
+            << "delta " << delta;
+    }
+}
+
+TEST(ScalarClock, ReconstructAboveReference)
+{
+    const Ts64 ref = 100000;
+    for (Ts64 delta = 1; delta < kClockWindow; delta *= 3) {
+        const Ts64 ts = ref + delta;
+        EXPECT_EQ(reconstructTs(ref, static_cast<Ts16>(ts)), ts)
+            << "delta " << delta;
+    }
+}
+
+TEST(ScalarClock, ReconstructAcross16BitWraparound)
+{
+    // Reference just past a 16-bit boundary; timestamp just before it.
+    const Ts64 ref = (1ULL << 16) + 5;
+    const Ts64 ts = (1ULL << 16) - 3;
+    EXPECT_EQ(reconstructTs(ref, static_cast<Ts16>(ts)), ts);
+    // And the other direction.
+    EXPECT_EQ(reconstructTs(ts, static_cast<Ts16>(ref)), ref);
+}
+
+TEST(ScalarClock, WindowBoundary)
+{
+    const Ts64 ref = 1000000;
+    EXPECT_TRUE(withinWindow(ref, ref));
+    EXPECT_TRUE(withinWindow(ref, ref - (kClockWindow - 1)));
+    EXPECT_TRUE(withinWindow(ref, ref + (kClockWindow - 1)));
+    EXPECT_FALSE(withinWindow(ref, ref - kClockWindow));
+    EXPECT_FALSE(withinWindow(ref, ref + kClockWindow));
+}
+
+TEST(ScalarClock, OrderRaceRule)
+{
+    // Paper Section 2.4: race iff thread clock <= timestamp.
+    EXPECT_TRUE(isOrderRace(5, 5));
+    EXPECT_TRUE(isOrderRace(5, 6));
+    EXPECT_FALSE(isOrderRace(6, 5));
+}
+
+TEST(ScalarClock, SynchronizedMarginD)
+{
+    // Paper Section 2.6: synchronized iff clock - ts >= D.
+    EXPECT_TRUE(isSynchronized(21, 5, 16));
+    EXPECT_TRUE(isSynchronized(100, 5, 16));
+    EXPECT_FALSE(isSynchronized(20, 5, 16)); // exactly D-1 above
+    EXPECT_FALSE(isSynchronized(5, 5, 16));
+    EXPECT_FALSE(isSynchronized(4, 5, 16));
+    // D = 1 degenerates to the plain order test.
+    EXPECT_TRUE(isSynchronized(6, 5, 1));
+    EXPECT_FALSE(isSynchronized(5, 5, 1));
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax)
+{
+    VectorClock a(4);
+    VectorClock b(4);
+    a.setComponent(0, 5);
+    a.setComponent(2, 9);
+    b.setComponent(0, 3);
+    b.setComponent(1, 7);
+    a.join(b);
+    EXPECT_EQ(a[0], 5u);
+    EXPECT_EQ(a[1], 7u);
+    EXPECT_EQ(a[2], 9u);
+    EXPECT_EQ(a[3], 0u);
+}
+
+TEST(VectorClock, LessEqDetectsOrderAndConcurrency)
+{
+    VectorClock a(3);
+    VectorClock b(3);
+    a.setComponent(0, 1);
+    b.setComponent(0, 2);
+    EXPECT_TRUE(a.lessEq(b));
+    EXPECT_FALSE(b.lessEq(a));
+
+    // Make them concurrent.
+    a.setComponent(1, 5);
+    EXPECT_FALSE(a.lessEq(b));
+    EXPECT_FALSE(b.lessEq(a));
+
+    // Equal clocks are mutually lessEq.
+    VectorClock c(3);
+    VectorClock d(3);
+    EXPECT_TRUE(c.lessEq(d));
+    EXPECT_TRUE(d.lessEq(c));
+    EXPECT_TRUE(c == d);
+}
+
+TEST(VectorClock, TickAdvancesOwnComponent)
+{
+    VectorClock a(2);
+    a.tick(1);
+    a.tick(1);
+    EXPECT_EQ(a[0], 0u);
+    EXPECT_EQ(a[1], 2u);
+}
+
+TEST(VectorClock, HappensBeforeTransitivity)
+{
+    // a -> b (join + tick), b -> c: then a -> c.
+    VectorClock a(3);
+    a.tick(0);
+    VectorClock b(3);
+    b.join(a);
+    b.tick(1);
+    VectorClock c(3);
+    c.join(b);
+    c.tick(2);
+    EXPECT_TRUE(a.lessEq(c));
+    EXPECT_FALSE(c.lessEq(a));
+}
+
+} // namespace
+} // namespace cord

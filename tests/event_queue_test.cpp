@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete event kernel (sim/event_queue.h):
+ * temporal ordering, same-tick priority ordering, insertion-order
+ * tie-breaking, and the bounded run watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace cord
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, EventQueue::kPriCore);
+    q.schedule(5, [&] { order.push_back(1); }, EventQueue::kPriResponse);
+    q.schedule(5, [&] { order.push_back(0); }, EventQueue::kPriBusGrant);
+    q.schedule(5, [&] { order.push_back(3); }, EventQueue::kPriWalker);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsScheduledFromEventsRun)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] {
+            ++fired;
+            q.scheduleIn(5, [&] { ++fired; });
+        });
+    });
+    q.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 11u);
+}
+
+TEST(EventQueue, ZeroDelaySelfSchedulingAdvancesDeterministically)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 100)
+            q.scheduleIn(0, tick);
+    };
+    q.schedule(0, tick);
+    q.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, BoundedRunStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        q.schedule(t, [&] { ++fired; });
+    q.run(50); // runs events up to tick now+50 = 50
+    EXPECT_EQ(fired, 5);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.schedule(3, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingCount)
+{
+    EventQueue q;
+    EXPECT_EQ(q.pending(), 0u);
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.step();
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace cord

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the experiment harness (harness/experiments.h,
+ * harness/table.h): campaign mechanics, detector spec factories,
+ * determinism, perf comparison plumbing, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/table.h"
+
+namespace cord
+{
+namespace
+{
+
+CampaignConfig
+smallCampaign(const std::string &app)
+{
+    CampaignConfig cfg;
+    cfg.workload = app;
+    cfg.params.scale = 1;
+    cfg.params.seed = 41;
+    cfg.injections = 8;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(Harness, CampaignCountsAreConsistent)
+{
+    const CampaignResult r =
+        runCampaign(smallCampaign("lu"), {cordSpec(16), vcL2CacheSpec()});
+    EXPECT_EQ(r.injections, 8u);
+    EXPECT_EQ(r.cleanIdealRaces, 0u);
+    EXPECT_LE(r.manifested, r.injections);
+    EXPECT_GT(r.totalInstances, 0u);
+    for (const auto &[label, n] : r.problems)
+        EXPECT_LE(n, r.manifested) << label;
+    // Detection rates are bounded by 1 vs Ideal by construction.
+    EXPECT_LE(r.problemRateVsIdeal("CORD-D16"), 1.0);
+    EXPECT_LE(r.problemRateVsIdeal("VC-L2Cache"), 1.0);
+}
+
+TEST(Harness, CampaignIsDeterministic)
+{
+    const CampaignResult a =
+        runCampaign(smallCampaign("radix"), {cordSpec(16)});
+    const CampaignResult b =
+        runCampaign(smallCampaign("radix"), {cordSpec(16)});
+    EXPECT_EQ(a.manifested, b.manifested);
+    EXPECT_EQ(a.idealRawRaces, b.idealRawRaces);
+    EXPECT_EQ(a.rawRaces, b.rawRaces);
+    EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(Harness, SpecFactoriesConfigureDetectors)
+{
+    auto cordDet = cordSpec(64).make(4, 4);
+    EXPECT_EQ(cordDet->name(), "CORD-D64");
+    auto inf = vcInfCacheSpec().make(4, 4);
+    auto l1 = vcL1CacheSpec().make(4, 4);
+    EXPECT_EQ(inf->name(), "VC-InfCache");
+    EXPECT_EQ(l1->name(), "VC-L1Cache");
+
+    CordConfig ablate;
+    ablate.entriesPerLine = 1;
+    auto one = cordSpecWith(ablate, "one").make(2, 8);
+    EXPECT_EQ(one->name(), "one");
+}
+
+TEST(Harness, RatioHelpersHandleMissingLabels)
+{
+    CampaignResult r;
+    EXPECT_EQ(r.problemRateVsIdeal("nope"), 0.0);
+    EXPECT_EQ(r.rawRateVs("a", "b"), 0.0);
+    EXPECT_EQ(r.manifestationRate(), 0.0);
+}
+
+TEST(Harness, PerfComparisonProducesBothSides)
+{
+    WorkloadParams params;
+    params.scale = 1;
+    params.seed = 3;
+    MachineConfig machine;
+    machine.computeScale = 8;
+    CordConfig cord;
+    const PerfPoint p = runPerf("ocean", params, machine, cord);
+    EXPECT_GT(p.baselineTicks, 0u);
+    EXPECT_GT(p.cordTicks, 0u);
+    EXPECT_GT(p.syncInstances, 0u);
+    // CORD attached must produce some check traffic.
+    EXPECT_GT(p.raceCheckTraffic, 0u);
+    // Overhead should be small but sane (well under 2x).
+    EXPECT_LT(p.relative(), 2.0);
+    EXPECT_GT(p.relative(), 0.5);
+}
+
+TEST(TextTableFormat, PercentAndNum)
+{
+    EXPECT_EQ(TextTable::percent(0.5), "50.0%");
+    EXPECT_EQ(TextTable::percent(1.0345, 2), "103.45%");
+    EXPECT_EQ(TextTable::percent(0.0), "0.0%");
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTableFormatDeath, MismatchedRowWidthPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace cord

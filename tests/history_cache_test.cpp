@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the detector residency model (cord/history_cache.h):
+ * finite vs unbounded storage, eviction callbacks (the main-memory
+ * timestamp fold point), and invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cord/history_cache.h"
+
+namespace cord
+{
+namespace
+{
+
+struct State
+{
+    int value = 0;
+};
+
+TEST(HistoryCache, InfiniteNeverEvicts)
+{
+    HistoryCache<State> c; // unbounded
+    EXPECT_TRUE(c.infinite());
+    int evictions = 0;
+    auto onEvict = [&](Addr, State &) { ++evictions; };
+    for (unsigned i = 0; i < 10000; ++i)
+        c.getOrInsert(i * kLineBytes, onEvict).value = static_cast<int>(i);
+    EXPECT_EQ(evictions, 0);
+    EXPECT_EQ(c.residentCount(), 10000u);
+    ASSERT_NE(c.find(17 * kLineBytes), nullptr);
+    EXPECT_EQ(c.find(17 * kLineBytes)->value, 17);
+}
+
+TEST(HistoryCache, FiniteEvictsWithCallback)
+{
+    HistoryCache<State> c(CacheGeometry{512, 64, 2}); // 8 lines
+    EXPECT_FALSE(c.infinite());
+    std::set<Addr> evicted;
+    auto onEvict = [&](Addr a, State &) { evicted.insert(a); };
+    for (unsigned i = 0; i < 32; ++i)
+        c.getOrInsert(i * kLineBytes, onEvict);
+    EXPECT_EQ(c.residentCount(), 8u);
+    EXPECT_EQ(evicted.size(), 24u);
+}
+
+TEST(HistoryCache, GetOrInsertIsStable)
+{
+    HistoryCache<State> c(CacheGeometry{512, 64, 2});
+    auto noEvict = [](Addr, State &) {};
+    c.getOrInsert(0x1000, noEvict).value = 7;
+    // Word addresses inside the same line find the same state.
+    EXPECT_EQ(c.getOrInsert(0x1004, noEvict).value, 7);
+    EXPECT_EQ(c.find(0x1008)->value, 7);
+}
+
+TEST(HistoryCache, InvalidateRunsCallbackOnce)
+{
+    HistoryCache<State> c(CacheGeometry{512, 64, 2});
+    int folds = 0;
+    auto fold = [&](Addr, State &) { ++folds; };
+    c.getOrInsert(0x2000, nullptr);
+    EXPECT_TRUE(c.invalidate(0x2000, fold));
+    EXPECT_EQ(folds, 1);
+    EXPECT_FALSE(c.invalidate(0x2000, fold));
+    EXPECT_EQ(folds, 1);
+    EXPECT_EQ(c.find(0x2000), nullptr);
+}
+
+TEST(HistoryCache, InfiniteInvalidate)
+{
+    HistoryCache<State> c;
+    int folds = 0;
+    c.getOrInsert(0x2000, nullptr).value = 3;
+    EXPECT_TRUE(c.invalidate(0x2004, [&](Addr, State &s) {
+        folds += s.value;
+    }));
+    EXPECT_EQ(folds, 3);
+    EXPECT_EQ(c.residentCount(), 0u);
+}
+
+TEST(HistoryCache, ForEachVisitsAll)
+{
+    HistoryCache<State> c(CacheGeometry{512, 64, 2});
+    for (unsigned i = 0; i < 4; ++i)
+        c.getOrInsert(i * kLineBytes, nullptr).value = static_cast<int>(i);
+    int sum = 0;
+    c.forEach([&](Addr, State &s) { sum += s.value; });
+    EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+}
+
+TEST(HistoryCache, RecencyGoverned)
+{
+    HistoryCache<State> c(CacheGeometry{128, 64, 2}); // one set, 2 ways
+    std::set<Addr> evicted;
+    auto onEvict = [&](Addr a, State &) { evicted.insert(a); };
+    c.getOrInsert(0 * kLineBytes, onEvict);
+    c.getOrInsert(1 * kLineBytes, onEvict);
+    c.getOrInsert(0 * kLineBytes, onEvict); // refresh line 0
+    c.getOrInsert(2 * kLineBytes, onEvict); // evicts line 1
+    EXPECT_EQ(evicted.count(1 * kLineBytes), 1u);
+    EXPECT_NE(c.find(0), nullptr);
+}
+
+} // namespace
+} // namespace cord

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the fault injector (inject/injector.h): uniform
+ * instance selection over the census and single-removal semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "inject/injector.h"
+
+namespace cord
+{
+namespace
+{
+
+TEST(Injector, PickStaysWithinCensus)
+{
+    const std::vector<std::uint64_t> census{10, 0, 25, 5};
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const InjectionPick p = pickUniformInstance(census, rng);
+        ASSERT_LT(p.tid, census.size());
+        ASSERT_LT(p.seqInThread, census[p.tid]);
+        ASSERT_NE(p.tid, 1u) << "thread with zero instances picked";
+    }
+}
+
+TEST(Injector, PickIsUniformAcrossThreads)
+{
+    const std::vector<std::uint64_t> census{100, 300, 100, 0};
+    Rng rng(7);
+    unsigned perThread[4] = {};
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        ++perThread[pickUniformInstance(census, rng).tid];
+    // Expected proportions 0.2 / 0.6 / 0.2 / 0.
+    EXPECT_NEAR(perThread[0], kDraws * 0.2, kDraws * 0.02);
+    EXPECT_NEAR(perThread[1], kDraws * 0.6, kDraws * 0.02);
+    EXPECT_NEAR(perThread[2], kDraws * 0.2, kDraws * 0.02);
+    EXPECT_EQ(perThread[3], 0u);
+}
+
+TEST(Injector, PickIsDeterministicPerSeed)
+{
+    const std::vector<std::uint64_t> census{40, 40};
+    Rng a(5);
+    Rng b(5);
+    for (int i = 0; i < 100; ++i) {
+        const InjectionPick pa = pickUniformInstance(census, a);
+        const InjectionPick pb = pickUniformInstance(census, b);
+        EXPECT_EQ(pa.tid, pb.tid);
+        EXPECT_EQ(pa.seqInThread, pb.seqInThread);
+    }
+}
+
+TEST(Injector, RemoveOneInstanceFiresExactlyOnTarget)
+{
+    RemoveOneInstance f({2, 7});
+    EXPECT_FALSE(f.fired());
+    EXPECT_FALSE(f.skipInstance(2, 6, SyncInstanceKind::LockPair));
+    EXPECT_FALSE(f.skipInstance(1, 7, SyncInstanceKind::LockPair));
+    EXPECT_TRUE(f.skipInstance(2, 7, SyncInstanceKind::FlagWait));
+    EXPECT_TRUE(f.fired());
+    EXPECT_EQ(f.removedKind(), SyncInstanceKind::FlagWait);
+    // Later instances are untouched.
+    EXPECT_FALSE(f.skipInstance(2, 8, SyncInstanceKind::LockPair));
+}
+
+TEST(InjectorDeath, EmptyCensusIsAnError)
+{
+    const std::vector<std::uint64_t> census{0, 0};
+    Rng rng(1);
+    EXPECT_DEATH(pickUniformInstance(census, rng), "no synchronization");
+}
+
+} // namespace
+} // namespace cord

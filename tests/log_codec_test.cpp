@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the order-log wire codec (cord/log_codec.h): the
+ * 8-byte format round-trips, 64-bit clocks are reconstructed across
+ * 16-bit wraparounds, and the bounded-jump invariant is enforced.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cord/clock.h"
+#include "cord/cord_detector.h"
+#include "cord/log_codec.h"
+#include "harness/runner.h"
+
+namespace cord
+{
+namespace
+{
+
+TEST(LogCodec, EmptyLogRoundTrips)
+{
+    OrderLog log;
+    const auto bytes = encodeOrderLog(log);
+    EXPECT_TRUE(bytes.empty());
+    EXPECT_EQ(decodeOrderLog(bytes).size(), 0u);
+}
+
+TEST(LogCodec, SimpleRoundTrip)
+{
+    OrderLog log;
+    log.append(0, 1, 100);
+    log.append(1, 1, 50);
+    log.append(0, 7, 25);
+    log.append(1, 9, 10);
+
+    const auto bytes = encodeOrderLog(log);
+    EXPECT_EQ(bytes.size(), 4 * OrderLog::kEntryWireBytes);
+
+    const OrderLog decoded = decodeOrderLog(bytes);
+    ASSERT_EQ(decoded.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(decoded.entries()[i].tid, log.entries()[i].tid);
+        EXPECT_EQ(decoded.entries()[i].clock, log.entries()[i].clock);
+        EXPECT_EQ(decoded.entries()[i].instrs, log.entries()[i].instrs);
+    }
+}
+
+TEST(LogCodec, ReconstructsClocksAcrossWraparound)
+{
+    // Per-thread clocks stride across several 16-bit epochs in jumps
+    // below the half-window; the decoder must recover all of them.
+    OrderLog log;
+    Ts64 clock = 1;
+    for (int i = 0; i < 40; ++i) {
+        log.append(0, clock, 10 + i);
+        clock += 12000; // < 2^15 - 1, crosses 64K boundaries repeatedly
+    }
+    ASSERT_TRUE(isWireEncodable(log));
+    const OrderLog decoded = decodeOrderLog(encodeOrderLog(log));
+    ASSERT_EQ(decoded.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i)
+        EXPECT_EQ(decoded.entries()[i].clock, log.entries()[i].clock)
+            << "entry " << i;
+}
+
+TEST(LogCodec, InterleavedThreadsReconstructIndependently)
+{
+    OrderLog log;
+    Ts64 c0 = 1;
+    Ts64 c1 = 1;
+    for (int i = 0; i < 30; ++i) {
+        log.append(0, c0, 5);
+        log.append(1, c1, 6);
+        c0 += 9000;
+        c1 += 15000;
+    }
+    const OrderLog decoded = decodeOrderLog(encodeOrderLog(log));
+    for (std::size_t i = 0; i < log.size(); ++i)
+        EXPECT_EQ(decoded.entries()[i].clock, log.entries()[i].clock);
+}
+
+TEST(LogCodec, RejectsUnboundedJumps)
+{
+    OrderLog log;
+    log.append(0, 1, 10);
+    log.append(0, 1 + kClockWindow, 10); // jump == window: ambiguous
+    EXPECT_FALSE(isWireEncodable(log));
+    EXPECT_DEATH(encodeOrderLog(log), "bounded-jump");
+}
+
+TEST(LogCodec, RealRecordingRoundTrips)
+{
+    // Record a real workload; its log must be wire-encodable and must
+    // survive the round trip bit-exactly (this is the artifact a real
+    // CORD chip would dump to memory).
+    CordConfig cc;
+    CordDetector recorder(cc);
+    RunSetup rec;
+    rec.workload = "fmm";
+    rec.params.seed = 17;
+    rec.detectors = {&recorder};
+    const RunOutcome out = runWorkload(rec);
+    ASSERT_TRUE(out.completed);
+    const OrderLog &log = recorder.orderLog();
+    ASSERT_GT(log.size(), 0u);
+    ASSERT_TRUE(isWireEncodable(log));
+
+    const OrderLog decoded = decodeOrderLog(encodeOrderLog(log));
+    ASSERT_EQ(decoded.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(decoded.entries()[i].tid, log.entries()[i].tid);
+        ASSERT_EQ(decoded.entries()[i].clock, log.entries()[i].clock)
+            << "entry " << i;
+        EXPECT_EQ(decoded.entries()[i].instrs, log.entries()[i].instrs);
+    }
+}
+
+} // namespace
+} // namespace cord

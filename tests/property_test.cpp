@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Property-based sweeps over (application x seed): the soundness
+ * properties the paper guarantees must hold on *every* execution,
+ * clean or injected:
+ *
+ *  P1  No false positives: any problem CORD or the VC baseline flags
+ *      is also flagged by the complete-and-precise Ideal detector.
+ *  P2  The 16-bit sliding window never produces a wrong comparison
+ *      (the cache walker keeps timestamp distances bounded).
+ *  P3  The order log partitions each thread's instruction stream
+ *      exactly.
+ *  P4  Injected executions replay deterministically from their log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cord/cord_detector.h"
+#include "cord/ideal_detector.h"
+#include "cord/replay.h"
+#include "cord/vc_detector.h"
+#include "harness/runner.h"
+#include "inject/injector.h"
+#include "sim/rng.h"
+
+namespace cord
+{
+namespace
+{
+
+using Param = std::tuple<std::string, unsigned>; // app, seed
+
+class SoundnessSweep : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(SoundnessSweep, InjectedRunsSatisfyAllProperties)
+{
+    const auto &[app, seed] = GetParam();
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.scale = 1;
+    params.seed = seed;
+
+    // Census for instance counts and a timing reference.
+    RunSetup census;
+    census.workload = app;
+    census.params = params;
+    const RunOutcome censusOut = runWorkload(census);
+    ASSERT_TRUE(censusOut.completed);
+
+    Rng rng(seed * 37 + 11);
+    for (unsigned i = 0; i < 4; ++i) {
+        const InjectionPick pick =
+            pickUniformInstance(censusOut.syncCensus, rng);
+        RemoveOneInstance filter(pick);
+
+        IdealDetector ideal(4);
+        CordConfig cc; // defaults: D = 16
+        CordDetector cord(cc);
+        VcConfig vc;
+        VcDetector vcd(vc);
+
+        RunSetup run;
+        run.workload = app;
+        run.params = params;
+        run.filter = &filter;
+        run.maxTicks = censusOut.ticks * 25 + 1000000;
+        run.detectors = {&ideal, &cord, &vcd};
+        const RunOutcome out = runWorkload(run);
+
+        // P1: completeness of Ideal bounds everyone's detections.
+        if (cord.races().problemDetected()) {
+            EXPECT_TRUE(ideal.races().problemDetected())
+                << app << " seed " << seed << " injection " << i
+                << ": CORD reported a race Ideal cannot see "
+                   "(false positive)";
+        }
+        if (vcd.races().problemDetected()) {
+            EXPECT_TRUE(ideal.races().problemDetected())
+                << app << " seed " << seed << " injection " << i
+                << ": VC reported a false positive";
+        }
+
+        // P2: windowed 16-bit comparisons never went wrong.
+        EXPECT_EQ(cord.stats().get("cord.windowViolations"), 0u)
+            << app << " seed " << seed;
+
+        // P3: the order log partitions each thread's instructions.
+        if (out.completed) {
+            std::vector<std::uint64_t> logged(4, 0);
+            for (const auto &e : cord.orderLog().entries())
+                logged[e.tid] += e.instrs;
+            for (unsigned t = 0; t < 4; ++t)
+                EXPECT_EQ(logged[t], out.instrs[t])
+                    << app << " thread " << t;
+        }
+
+        // P4: injected executions replay exactly.
+        if (out.completed && i == 0) {
+            RemoveOneInstance filter2(pick);
+            RunSetup rep;
+            rep.workload = app;
+            rep.params = params;
+            rep.filter = &filter2;
+            rep.machine.memoryLatency = 90;
+            rep.machine.l2HitLatency = 3;
+            ReplayGate gate(cord.orderLog(), 4);
+            rep.gate = &gate;
+            rep.maxTicks = out.ticks * 500 + 10000000;
+            const RunOutcome repOut = runWorkload(rep);
+            ASSERT_TRUE(repOut.completed) << app << " replay hung";
+            EXPECT_EQ(gate.overrunInstrs(), 0u);
+            for (unsigned t = 0; t < 4; ++t) {
+                EXPECT_EQ(repOut.readChecksums[t],
+                          out.readChecksums[t])
+                    << app << " seed " << seed << " thread " << t;
+            }
+        }
+    }
+}
+
+std::vector<Param>
+sweepParams()
+{
+    std::vector<Param> ps;
+    for (const std::string &app : workloadNames()) {
+        ps.emplace_back(app, 101);
+        ps.emplace_back(app, 202);
+    }
+    return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsBySeeds, SoundnessSweep, ::testing::ValuesIn(sweepParams()),
+    [](const auto &param_info) {
+        std::string n = std::get<0>(param_info.param) + "_s" +
+                        std::to_string(std::get<1>(param_info.param));
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+class DSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(DSweep, CleanRunsStaySilentForAllD)
+{
+    // The no-false-positive guarantee must hold for every margin D.
+    CordConfig cfg;
+    cfg.d = GetParam();
+    CordDetector cord(cfg);
+    RunSetup s;
+    s.workload = "water-sp";
+    s.params.seed = 5;
+    s.detectors = {&cord};
+    const RunOutcome out = runWorkload(s);
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(cord.races().pairs(), 0u) << "D = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, DSweep,
+                         ::testing::Values(1u, 2u, 4u, 16u, 64u, 256u,
+                                           1024u));
+
+} // namespace
+} // namespace cord

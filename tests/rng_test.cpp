@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (sim/rng.h): reproducibility,
+ * bounds, and rough uniformity (experiments must be exactly repeatable
+ * across platforms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace cord
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(777);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(777);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng r(42);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.below(bound), bound) << "bound " << bound;
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = r.range(10, 13);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all values in [10,13] should appear";
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng r(31);
+    constexpr unsigned kBuckets = 16;
+    unsigned counts[kBuckets] = {};
+    constexpr int kDraws = 32000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.below(kBuckets)];
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        EXPECT_NEAR(counts[b], kDraws / kBuckets,
+                    kDraws / kBuckets * 0.15)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // namespace
+} // namespace cord

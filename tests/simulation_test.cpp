@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the execution engine (cpu/simulation.h): instruction
+ * accounting, compute timing at the configured issue width, functional
+ * value semantics (loads/stores/CAS through the value store), the
+ * committed-access stream seen by detectors, read checksums, and
+ * multiple threads per core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cord/detector.h"
+#include "cpu/simulation.h"
+
+namespace cord
+{
+namespace
+{
+
+/** Captures the committed access stream. */
+class Capture : public Detector
+{
+  public:
+    Capture() : Detector("capture") {}
+    std::vector<MemEvent> events;
+    std::vector<std::pair<ThreadId, std::uint64_t>> ends;
+
+    void onAccess(const MemEvent &ev) override { events.push_back(ev); }
+    void
+    onThreadEnd(ThreadId tid, std::uint64_t instrs) override
+    {
+        ends.emplace_back(tid, instrs);
+    }
+};
+
+Task<void>
+simpleProgram(Addr base)
+{
+    co_await opCompute(8);
+    co_await opStore(base, 5);
+    const OpResult r = co_await opLoad(base);
+    co_await opStore(base + kWordBytes, r.value + 1);
+    co_await opCas(base, 5, 9);
+    co_await opCas(base, 5, 11); // fails: value is 9
+}
+
+TEST(Simulation, FunctionalSemanticsAndEventStream)
+{
+    MachineConfig cfg;
+    Simulation sim(cfg, 1);
+    Capture cap;
+    sim.addDetector(&cap);
+    sim.spawn(0, simpleProgram(0x1000));
+    ASSERT_TRUE(sim.run());
+
+    EXPECT_EQ(sim.memory().load(0x1000), 9u);
+    EXPECT_EQ(sim.memory().load(0x1004), 6u);
+
+    // Events: store, load, store, cas(read+write), cas(read only).
+    ASSERT_EQ(cap.events.size(), 6u);
+    EXPECT_EQ(cap.events[0].kind, AccessKind::DataWrite);
+    EXPECT_EQ(cap.events[0].value, 5u);
+    EXPECT_EQ(cap.events[1].kind, AccessKind::DataRead);
+    EXPECT_EQ(cap.events[1].value, 5u);
+    EXPECT_EQ(cap.events[2].kind, AccessKind::DataWrite);
+    EXPECT_EQ(cap.events[3].kind, AccessKind::SyncRead);
+    EXPECT_EQ(cap.events[4].kind, AccessKind::SyncWrite);
+    EXPECT_EQ(cap.events[4].value, 9u);
+    EXPECT_EQ(cap.events[5].kind, AccessKind::SyncRead);
+    EXPECT_EQ(cap.events[5].value, 9u) << "failed CAS reads old value";
+
+    // Instruction accounting: 8 compute + 5 memory ops.
+    EXPECT_EQ(sim.instrCount(0), 13u);
+    ASSERT_EQ(cap.ends.size(), 1u);
+    EXPECT_EQ(cap.ends[0].second, 13u);
+    // Successive events carry increasing instruction counts.
+    EXPECT_EQ(cap.events[0].instrCount, 9u);
+    EXPECT_EQ(cap.events[5].instrCount, 13u);
+}
+
+Task<void>
+computeOnly(std::uint32_t n)
+{
+    co_await opCompute(n);
+}
+
+TEST(Simulation, ComputeRespectsIssueWidth)
+{
+    MachineConfig cfg;
+    cfg.issueWidth = 4;
+    Simulation sim(cfg, 1);
+    sim.spawn(0, computeOnly(400));
+    ASSERT_TRUE(sim.run());
+    EXPECT_EQ(sim.finishTick(), 100u);
+    EXPECT_EQ(sim.instrCount(0), 400u);
+}
+
+TEST(Simulation, ComputeScaleMultiplies)
+{
+    MachineConfig cfg;
+    cfg.issueWidth = 4;
+    cfg.computeScale = 10;
+    Simulation sim(cfg, 1);
+    sim.spawn(0, computeOnly(400));
+    ASSERT_TRUE(sim.run());
+    EXPECT_EQ(sim.finishTick(), 1000u);
+    EXPECT_EQ(sim.instrCount(0), 4000u);
+}
+
+Task<void>
+pingPong(Addr mine, Addr theirs, unsigned iters)
+{
+    for (unsigned i = 1; i <= iters; ++i) {
+        co_await opStore(mine, i);
+        OpResult r{};
+        while (r.value < i)
+            r = co_await opLoad(theirs);
+    }
+}
+
+TEST(Simulation, TwoThreadsOneCore)
+{
+    // Both threads pinned to core 0 must still interleave (round-robin
+    // at operation boundaries) and make progress.
+    MachineConfig cfg;
+    cfg.numCores = 1;
+    Simulation sim(cfg, 2);
+    sim.spawn(0, pingPong(0x100, 0x200, 20));
+    sim.spawn(1, pingPong(0x200, 0x100, 20));
+    ASSERT_TRUE(sim.run(100000000ULL));
+    EXPECT_EQ(sim.memory().load(0x100), 20u);
+    EXPECT_EQ(sim.memory().load(0x200), 20u);
+}
+
+TEST(Simulation, EightThreadsFourCores)
+{
+    MachineConfig cfg;
+    Simulation sim(cfg, 8);
+    for (unsigned t = 0; t < 8; ++t)
+        sim.spawn(static_cast<ThreadId>(t),
+                  simpleProgram(0x10000 + t * 0x1000));
+    ASSERT_TRUE(sim.run(100000000ULL));
+    for (unsigned t = 0; t < 8; ++t)
+        EXPECT_EQ(sim.memory().load(0x10000 + t * 0x1000), 9u);
+}
+
+TEST(Simulation, ChecksumReflectsLoadedValues)
+{
+    MachineConfig cfg;
+    Simulation simA(cfg, 1);
+    simA.spawn(0, simpleProgram(0x1000));
+    simA.run();
+    Simulation simB(cfg, 1);
+    simB.spawn(0, simpleProgram(0x1000));
+    simB.run();
+    EXPECT_EQ(simA.readChecksum(0), simB.readChecksum(0));
+
+    // A different address stream yields a different checksum.
+    Simulation simC(cfg, 1);
+    simC.spawn(0, simpleProgram(0x2000));
+    simC.run();
+    EXPECT_NE(simA.readChecksum(0), simC.readChecksum(0));
+}
+
+TEST(Simulation, WatchdogReturnsFalse)
+{
+    // A thread that spins forever must trip the watchdog.
+    MachineConfig cfg;
+    Simulation sim(cfg, 1);
+    auto spin = [](Addr a) -> Task<void> {
+        for (;;) {
+            const OpResult r = co_await opLoad(a);
+            if (r.value == 1)
+                co_return; // never: nobody stores
+            co_await opCompute(16);
+        }
+    };
+    sim.spawn(0, spin(0x100));
+    EXPECT_FALSE(sim.run(50000));
+    EXPECT_FALSE(sim.allFinished());
+}
+
+TEST(SimulationDeath, SpawnTwiceIsABug)
+{
+    MachineConfig cfg;
+    Simulation sim(cfg, 1);
+    sim.spawn(0, computeOnly(1));
+    EXPECT_DEATH(sim.spawn(0, computeOnly(1)), "twice");
+}
+
+TEST(SimulationDeath, RunWithoutSpawnIsABug)
+{
+    MachineConfig cfg;
+    Simulation sim(cfg, 2);
+    sim.spawn(0, computeOnly(1));
+    EXPECT_DEATH(sim.run(), "never spawned");
+}
+
+} // namespace
+} // namespace cord

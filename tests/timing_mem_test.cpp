@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the MESI timing memory system (mem/timing_mem.h):
+ * hit/miss classification, cache-to-cache supply, write upgrades,
+ * remote invalidation, inclusion, and CORD traffic charging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/timing_mem.h"
+
+namespace cord
+{
+namespace
+{
+
+MachineConfig
+cfg()
+{
+    return MachineConfig{};
+}
+
+TEST(TimingMem, ColdMissGoesToMemory)
+{
+    TimingMemSystem m(cfg());
+    const TimingResult r = m.access(0, 0x10000, false, 0);
+    EXPECT_EQ(r.source, ServiceSource::Memory);
+    EXPECT_TRUE(r.usedAddrBus);
+    EXPECT_GE(r.completion, cfg().memoryLatency);
+}
+
+TEST(TimingMem, SecondAccessHitsL1)
+{
+    TimingMemSystem m(cfg());
+    m.access(0, 0x10000, false, 0);
+    const TimingResult r = m.access(0, 0x10004, false, 1000);
+    EXPECT_EQ(r.source, ServiceSource::L1Hit);
+    EXPECT_EQ(r.completion, 1000 + cfg().l1HitLatency);
+    EXPECT_FALSE(r.usedAddrBus);
+}
+
+TEST(TimingMem, RemoteCopySuppliesCacheToCache)
+{
+    TimingMemSystem m(cfg());
+    m.access(0, 0x10000, false, 0);
+    const TimingResult r = m.access(1, 0x10000, false, 1000);
+    EXPECT_EQ(r.source, ServiceSource::CacheToCache);
+    EXPECT_LE(r.completion, 1000 + cfg().cacheToCacheLatency + 16);
+}
+
+TEST(TimingMem, WriteInvalidatesRemoteCopies)
+{
+    TimingMemSystem m(cfg());
+    m.access(0, 0x10000, false, 0);    // core 0: E
+    m.access(1, 0x10000, false, 100);  // both S
+    m.access(2, 0x10000, true, 200);   // core 2: BusRdX
+
+    // Cores 0 and 1 must miss now; core 2 supplies cache-to-cache.
+    const TimingResult r0 = m.access(0, 0x10000, false, 1000);
+    EXPECT_EQ(r0.source, ServiceSource::CacheToCache);
+}
+
+TEST(TimingMem, WriteHitOnSharedNeedsUpgrade)
+{
+    TimingMemSystem m(cfg());
+    m.access(0, 0x10000, false, 0);
+    m.access(1, 0x10000, false, 100); // S in both
+
+    const TimingResult r = m.access(0, 0x10000, true, 1000);
+    EXPECT_TRUE(r.usedAddrBus) << "S->M upgrade is a bus transaction";
+    // Remote copy invalidated.
+    const TimingResult r1 = m.access(1, 0x10000, false, 2000);
+    EXPECT_EQ(r1.source, ServiceSource::CacheToCache);
+}
+
+TEST(TimingMem, WriteHitOnExclusiveIsSilent)
+{
+    TimingMemSystem m(cfg());
+    m.access(0, 0x10000, false, 0); // E
+    const std::uint64_t txnsBefore = m.addrBus().transactions();
+    const TimingResult r = m.access(0, 0x10000, true, 1000);
+    EXPECT_FALSE(r.usedAddrBus);
+    EXPECT_EQ(r.source, ServiceSource::L1Hit);
+    EXPECT_EQ(m.addrBus().transactions(), txnsBefore);
+}
+
+TEST(TimingMem, L2HitAfterL1Eviction)
+{
+    // Touch enough distinct lines to overflow the 8KB L1 (128 lines)
+    // but not the 32KB L2; an early line then hits in L2, not L1.
+    TimingMemSystem m(cfg());
+    for (unsigned i = 0; i < 256; ++i)
+        m.access(0, 0x100000 + i * kLineBytes, false, i * 1000);
+    const TimingResult r = m.access(0, 0x100000, false, 10000000);
+    EXPECT_EQ(r.source, ServiceSource::L2Hit);
+    EXPECT_EQ(r.completion, 10000000 + cfg().l2HitLatency);
+}
+
+TEST(TimingMem, DirtyEvictionChargesWritebackBuses)
+{
+    TimingMemSystem m(cfg());
+    // Make many dirty lines in one core and overflow its L2.
+    const std::uint64_t memTxns0 = m.memBus().transactions();
+    for (unsigned i = 0; i < 1024; ++i)
+        m.access(0, 0x200000 + i * kLineBytes, true, i * 1000);
+    EXPECT_GT(m.memBus().transactions(),
+              memTxns0 + 1024) // 1024 fetches + >0 writebacks
+        << "M-line evictions must write back";
+}
+
+TEST(TimingMem, ServiceCountsAccumulate)
+{
+    TimingMemSystem m(cfg());
+    m.access(0, 0x10000, false, 0);
+    m.access(0, 0x10000, false, 1000);
+    m.access(1, 0x10000, false, 2000);
+    EXPECT_EQ(m.serviceCount(ServiceSource::Memory), 1u);
+    EXPECT_EQ(m.serviceCount(ServiceSource::L1Hit), 1u);
+    EXPECT_EQ(m.serviceCount(ServiceSource::CacheToCache), 1u);
+}
+
+TEST(TimingMem, RaceCheckAndMemTsChargesAddrBusOnly)
+{
+    TimingMemSystem m(cfg());
+    const std::uint64_t data0 = m.dataBus().transactions();
+    m.chargeRaceCheck(0);
+    m.chargeMemTsBroadcast(10);
+    EXPECT_EQ(m.addrBus().transactions(), 2u);
+    EXPECT_EQ(m.dataBus().transactions(), data0);
+}
+
+TEST(TimingMem, AddrBusContentionDelaysMisses)
+{
+    TimingMemSystem m(cfg());
+    // Saturate the address bus with race checks, then issue a miss.
+    for (int i = 0; i < 100; ++i)
+        m.chargeRaceCheck(0);
+    const TimingResult r = m.access(0, 0x30000, false, 0);
+    EXPECT_GT(r.completion, cfg().memoryLatency + 500u)
+        << "miss must queue behind the check burst";
+}
+
+} // namespace
+} // namespace cord

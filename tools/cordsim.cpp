@@ -1,0 +1,248 @@
+/**
+ * @file
+ * cordsim -- command-line driver for the CORD simulator.
+ *
+ * Runs one workload on the simulated CMP with a configurable detector
+ * set and prints a run summary: races found by each detector, order
+ * log statistics, memory-system behaviour and (optionally) a replay
+ * verification pass.
+ *
+ * Usage:
+ *   cordsim [options]
+ *     --workload NAME     one of the 12 Table-1 analogs (default barnes)
+ *     --scale N           input scale (default 1)
+ *     --threads N         software threads (default 4)
+ *     --cores N           processors (default 4)
+ *     --seed N            run seed (default 1)
+ *     --d N               CORD sync-read margin D (default 16)
+ *     --inject TID:SEQ    remove thread TID's SEQ-th sync instance
+ *     --known-races       include the apps' pre-existing races
+ *     --directory         directory coherence instead of snooping
+ *     --migrate N         migrate threads every N instructions
+ *     --replay            verify deterministic replay after the run
+ *     --trace FILE        dump the access trace to FILE
+ *     --list              list available workloads and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cord/cord_detector.h"
+#include "cord/ideal_detector.h"
+#include "cord/replay.h"
+#include "cord/vc_detector.h"
+#include "harness/runner.h"
+#include "harness/trace.h"
+#include "inject/injector.h"
+
+using namespace cord;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "barnes";
+    unsigned scale = 1;
+    unsigned threads = 4;
+    unsigned cores = 4;
+    std::uint64_t seed = 1;
+    std::uint32_t d = 16;
+    bool haveInjection = false;
+    InjectionPick pick;
+    bool knownRaces = false;
+    bool directory = false;
+    std::uint64_t migrate = 0;
+    bool replay = false;
+    std::string tracePath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME] [--scale N] [--threads N]"
+                 " [--cores N]\n"
+                 "       [--seed N] [--d N] [--inject TID:SEQ]"
+                 " [--directory]\n"
+                 "       [--migrate N] [--replay] [--trace FILE]"
+                 " [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--workload") {
+            opt.workload = next();
+        } else if (a == "--scale") {
+            opt.scale = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--threads") {
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--cores") {
+            opt.cores = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--d") {
+            opt.d = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--inject") {
+            const char *spec = next();
+            const char *colon = std::strchr(spec, ':');
+            if (!colon)
+                usage(argv[0]);
+            opt.haveInjection = true;
+            opt.pick.tid = static_cast<ThreadId>(std::atoi(spec));
+            opt.pick.seqInThread =
+                std::strtoull(colon + 1, nullptr, 10);
+        } else if (a == "--known-races") {
+            opt.knownRaces = true;
+        } else if (a == "--directory") {
+            opt.directory = true;
+        } else if (a == "--migrate") {
+            opt.migrate = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--replay") {
+            opt.replay = true;
+        } else if (a == "--trace") {
+            opt.tracePath = next();
+        } else if (a == "--list") {
+            for (const auto &n : workloadNames())
+                std::printf("%s\n", n.c_str());
+            std::exit(0);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    RunSetup setup;
+    setup.workload = opt.workload;
+    setup.params.numThreads = opt.threads;
+    setup.params.scale = opt.scale;
+    setup.params.seed = opt.seed;
+    setup.params.includeKnownRaces = opt.knownRaces;
+    setup.machine.numCores = opt.cores;
+    setup.machine.coherence = opt.directory ? CoherenceKind::Directory
+                                            : CoherenceKind::Snooping;
+    setup.machine.migrationPeriodInstrs = opt.migrate;
+    setup.maxTicks = 0;
+
+    AddressSpace space;
+    setup.captureSpace = &space;
+
+    RemoveOneInstance filter(opt.pick);
+    if (opt.haveInjection) {
+        setup.filter = &filter;
+        setup.maxTicks = 2000000000ULL; // injected runs can hang
+    }
+
+    CordConfig cc;
+    cc.numCores = opt.cores;
+    cc.numThreads = opt.threads;
+    cc.d = opt.d;
+    CordDetector cord(cc);
+    VcConfig vcc;
+    vcc.numCores = opt.cores;
+    vcc.numThreads = opt.threads;
+    VcDetector vcd(vcc);
+    IdealDetector ideal(opt.threads);
+    TraceRecorder trace;
+    setup.detectors = {&cord, &vcd, &ideal};
+    if (!opt.tracePath.empty())
+        setup.detectors.push_back(&trace);
+
+    const RunOutcome out = runWorkload(setup);
+
+    std::printf("workload      : %s (scale %u, %u threads on %u "
+                "cores, seed %llu)\n",
+                opt.workload.c_str(), opt.scale, opt.threads, opt.cores,
+                static_cast<unsigned long long>(opt.seed));
+    if (opt.haveInjection) {
+        std::printf("injection     : removed thread %u's instance %llu"
+                    " (%s)\n",
+                    opt.pick.tid,
+                    static_cast<unsigned long long>(
+                        opt.pick.seqInThread),
+                    filter.fired() ? "fired" : "never reached");
+    }
+    std::printf("completed     : %s at tick %llu\n",
+                out.completed ? "yes" : "NO (watchdog: likely hung)",
+                static_cast<unsigned long long>(out.ticks));
+    std::printf("accesses      : %llu (%zu shared words touched)\n",
+                static_cast<unsigned long long>(out.accesses),
+                out.footprintWords);
+    std::printf("sync instances: %llu (%llu locks, %llu flag waits)\n",
+                static_cast<unsigned long long>(out.totalInstances()),
+                static_cast<unsigned long long>(out.lockInstances),
+                static_cast<unsigned long long>(out.flagInstances));
+    std::printf("races         : CORD(D=%u)=%llu  VC=%llu  Ideal=%llu"
+                "\n",
+                opt.d,
+                static_cast<unsigned long long>(cord.races().pairs()),
+                static_cast<unsigned long long>(vcd.races().pairs()),
+                static_cast<unsigned long long>(ideal.races().pairs()));
+    unsigned shown = 0;
+    for (const RaceRecord &r : cord.races().samples()) {
+        if (++shown > 6) {
+            std::printf("    ... and %zu more\n",
+                        cord.races().samples().size() - 6);
+            break;
+        }
+        std::printf("    race: thread %u %s %s at tick %llu\n",
+                    r.accessor,
+                    r.kind == AccessKind::DataWrite ? "wrote" : "read",
+                    space.describe(r.addr).c_str(),
+                    static_cast<unsigned long long>(r.tick));
+    }
+    std::printf("order log     : %zu entries, %zu bytes\n",
+                cord.orderLog().size(), cord.orderLog().wireBytes());
+    std::printf("CORD traffic  : %llu race checks, %llu memTs updates"
+                "\n",
+                static_cast<unsigned long long>(
+                    cord.stats().get("cord.raceChecks")),
+                static_cast<unsigned long long>(
+                    cord.stats().get("cord.memTsUpdates")));
+
+    if (!opt.tracePath.empty() && out.completed) {
+        saveTrace(trace, opt.tracePath);
+        std::printf("trace         : %zu events -> %s\n",
+                    trace.events().size(), opt.tracePath.c_str());
+    }
+
+    if (opt.replay && out.completed) {
+        RemoveOneInstance filter2(opt.pick);
+        RunSetup rep = setup;
+        rep.detectors.clear();
+        rep.filter = opt.haveInjection ? &filter2 : nullptr;
+        ReplayGate gate(cord.orderLog(), opt.threads);
+        rep.gate = &gate;
+        rep.maxTicks = out.ticks * 500 + 10000000;
+        const RunOutcome repOut = runWorkload(rep);
+        bool ok = repOut.completed && gate.overrunInstrs() == 0;
+        for (unsigned t = 0; ok && t < opt.threads; ++t)
+            ok = repOut.readChecksums[t] == out.readChecksums[t];
+        std::printf("replay        : %s\n",
+                    ok ? "verified (identical values in all threads)"
+                       : "FAILED");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}
