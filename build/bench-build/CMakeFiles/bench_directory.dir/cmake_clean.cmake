@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_directory"
+  "../bench/bench_directory.pdb"
+  "CMakeFiles/bench_directory.dir/bench_directory.cpp.o"
+  "CMakeFiles/bench_directory.dir/bench_directory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

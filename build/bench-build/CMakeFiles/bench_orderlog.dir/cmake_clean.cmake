@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_orderlog"
+  "../bench/bench_orderlog.pdb"
+  "CMakeFiles/bench_orderlog.dir/bench_orderlog.cpp.o"
+  "CMakeFiles/bench_orderlog.dir/bench_orderlog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orderlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_workload.cpp" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o" "gcc" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cord_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cord_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cord_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cord/CMakeFiles/cord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cord_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

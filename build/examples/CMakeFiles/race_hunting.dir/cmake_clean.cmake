@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_hunting.dir/race_hunting.cpp.o"
+  "CMakeFiles/race_hunting.dir/race_hunting.cpp.o.d"
+  "race_hunting"
+  "race_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_debugging.dir/replay_debugging.cpp.o"
+  "CMakeFiles/replay_debugging.dir/replay_debugging.cpp.o.d"
+  "replay_debugging"
+  "replay_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

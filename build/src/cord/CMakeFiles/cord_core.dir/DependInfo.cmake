@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cord/cord_detector.cpp" "src/cord/CMakeFiles/cord_core.dir/cord_detector.cpp.o" "gcc" "src/cord/CMakeFiles/cord_core.dir/cord_detector.cpp.o.d"
+  "/root/repo/src/cord/ideal_detector.cpp" "src/cord/CMakeFiles/cord_core.dir/ideal_detector.cpp.o" "gcc" "src/cord/CMakeFiles/cord_core.dir/ideal_detector.cpp.o.d"
+  "/root/repo/src/cord/log_codec.cpp" "src/cord/CMakeFiles/cord_core.dir/log_codec.cpp.o" "gcc" "src/cord/CMakeFiles/cord_core.dir/log_codec.cpp.o.d"
+  "/root/repo/src/cord/replay.cpp" "src/cord/CMakeFiles/cord_core.dir/replay.cpp.o" "gcc" "src/cord/CMakeFiles/cord_core.dir/replay.cpp.o.d"
+  "/root/repo/src/cord/vc_detector.cpp" "src/cord/CMakeFiles/cord_core.dir/vc_detector.cpp.o" "gcc" "src/cord/CMakeFiles/cord_core.dir/vc_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cord_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

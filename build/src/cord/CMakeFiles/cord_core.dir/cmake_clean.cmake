@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_core.dir/cord_detector.cpp.o"
+  "CMakeFiles/cord_core.dir/cord_detector.cpp.o.d"
+  "CMakeFiles/cord_core.dir/ideal_detector.cpp.o"
+  "CMakeFiles/cord_core.dir/ideal_detector.cpp.o.d"
+  "CMakeFiles/cord_core.dir/log_codec.cpp.o"
+  "CMakeFiles/cord_core.dir/log_codec.cpp.o.d"
+  "CMakeFiles/cord_core.dir/replay.cpp.o"
+  "CMakeFiles/cord_core.dir/replay.cpp.o.d"
+  "CMakeFiles/cord_core.dir/vc_detector.cpp.o"
+  "CMakeFiles/cord_core.dir/vc_detector.cpp.o.d"
+  "libcord_core.a"
+  "libcord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

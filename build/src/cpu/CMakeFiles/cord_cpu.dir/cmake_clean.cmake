@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_cpu.dir/simulation.cpp.o"
+  "CMakeFiles/cord_cpu.dir/simulation.cpp.o.d"
+  "libcord_cpu.a"
+  "libcord_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

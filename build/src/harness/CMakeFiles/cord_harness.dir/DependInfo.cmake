@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiments.cpp" "src/harness/CMakeFiles/cord_harness.dir/experiments.cpp.o" "gcc" "src/harness/CMakeFiles/cord_harness.dir/experiments.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/cord_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/cord_harness.dir/runner.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/harness/CMakeFiles/cord_harness.dir/table.cpp.o" "gcc" "src/harness/CMakeFiles/cord_harness.dir/table.cpp.o.d"
+  "/root/repo/src/harness/trace.cpp" "src/harness/CMakeFiles/cord_harness.dir/trace.cpp.o" "gcc" "src/harness/CMakeFiles/cord_harness.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/cord_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cord/CMakeFiles/cord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cord_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cord_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_harness.dir/experiments.cpp.o"
+  "CMakeFiles/cord_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/cord_harness.dir/runner.cpp.o"
+  "CMakeFiles/cord_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/cord_harness.dir/table.cpp.o"
+  "CMakeFiles/cord_harness.dir/table.cpp.o.d"
+  "CMakeFiles/cord_harness.dir/trace.cpp.o"
+  "CMakeFiles/cord_harness.dir/trace.cpp.o.d"
+  "libcord_harness.a"
+  "libcord_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_mem.dir/timing_mem.cpp.o"
+  "CMakeFiles/cord_mem.dir/timing_mem.cpp.o.d"
+  "libcord_mem.a"
+  "libcord_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

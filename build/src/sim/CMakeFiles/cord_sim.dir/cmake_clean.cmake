@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_sim.dir/logging.cpp.o"
+  "CMakeFiles/cord_sim.dir/logging.cpp.o.d"
+  "libcord_sim.a"
+  "libcord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

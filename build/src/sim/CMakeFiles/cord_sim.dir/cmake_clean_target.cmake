@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcord_sim.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/barnes.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/barnes.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/barnes.cpp.o.d"
+  "/root/repo/src/workloads/cholesky.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/cholesky.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/cholesky.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/fmm.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/fmm.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/fmm.cpp.o.d"
+  "/root/repo/src/workloads/lu.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/lu.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/lu.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/ocean.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/ocean.cpp.o.d"
+  "/root/repo/src/workloads/radiosity.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/radiosity.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/radiosity.cpp.o.d"
+  "/root/repo/src/workloads/radix.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/radix.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/radix.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/raytrace.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/volrend.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/volrend.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/volrend.cpp.o.d"
+  "/root/repo/src/workloads/water_n2.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/water_n2.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/water_n2.cpp.o.d"
+  "/root/repo/src/workloads/water_sp.cpp" "src/workloads/CMakeFiles/cord_workloads.dir/water_sp.cpp.o" "gcc" "src/workloads/CMakeFiles/cord_workloads.dir/water_sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

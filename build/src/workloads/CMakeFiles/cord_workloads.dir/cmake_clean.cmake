@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_workloads.dir/barnes.cpp.o"
+  "CMakeFiles/cord_workloads.dir/barnes.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/cholesky.cpp.o"
+  "CMakeFiles/cord_workloads.dir/cholesky.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/fft.cpp.o"
+  "CMakeFiles/cord_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/fmm.cpp.o"
+  "CMakeFiles/cord_workloads.dir/fmm.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/lu.cpp.o"
+  "CMakeFiles/cord_workloads.dir/lu.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/ocean.cpp.o"
+  "CMakeFiles/cord_workloads.dir/ocean.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/radiosity.cpp.o"
+  "CMakeFiles/cord_workloads.dir/radiosity.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/radix.cpp.o"
+  "CMakeFiles/cord_workloads.dir/radix.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/raytrace.cpp.o"
+  "CMakeFiles/cord_workloads.dir/raytrace.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/registry.cpp.o"
+  "CMakeFiles/cord_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/volrend.cpp.o"
+  "CMakeFiles/cord_workloads.dir/volrend.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/water_n2.cpp.o"
+  "CMakeFiles/cord_workloads.dir/water_n2.cpp.o.d"
+  "CMakeFiles/cord_workloads.dir/water_sp.cpp.o"
+  "CMakeFiles/cord_workloads.dir/water_sp.cpp.o.d"
+  "libcord_workloads.a"
+  "libcord_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cord_detector.dir/cord_detector_test.cpp.o"
+  "CMakeFiles/test_cord_detector.dir/cord_detector_test.cpp.o.d"
+  "test_cord_detector"
+  "test_cord_detector.pdb"
+  "test_cord_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cord_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

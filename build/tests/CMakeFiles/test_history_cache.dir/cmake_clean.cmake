@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_cache.dir/history_cache_test.cpp.o"
+  "CMakeFiles/test_history_cache.dir/history_cache_test.cpp.o.d"
+  "test_history_cache"
+  "test_history_cache.pdb"
+  "test_history_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

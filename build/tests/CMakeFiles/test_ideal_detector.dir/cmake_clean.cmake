@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ideal_detector.dir/ideal_detector_test.cpp.o"
+  "CMakeFiles/test_ideal_detector.dir/ideal_detector_test.cpp.o.d"
+  "test_ideal_detector"
+  "test_ideal_detector.pdb"
+  "test_ideal_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ideal_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_order_log.dir/order_log_test.cpp.o"
+  "CMakeFiles/test_order_log.dir/order_log_test.cpp.o.d"
+  "test_order_log"
+  "test_order_log.pdb"
+  "test_order_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_order_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

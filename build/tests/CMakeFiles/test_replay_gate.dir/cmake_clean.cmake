@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_gate.dir/replay_gate_test.cpp.o"
+  "CMakeFiles/test_replay_gate.dir/replay_gate_test.cpp.o.d"
+  "test_replay_gate"
+  "test_replay_gate.pdb"
+  "test_replay_gate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

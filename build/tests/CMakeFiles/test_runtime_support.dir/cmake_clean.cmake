@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_support.dir/runtime_support_test.cpp.o"
+  "CMakeFiles/test_runtime_support.dir/runtime_support_test.cpp.o.d"
+  "test_runtime_support"
+  "test_runtime_support.pdb"
+  "test_runtime_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

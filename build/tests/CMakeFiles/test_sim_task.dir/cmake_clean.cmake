@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_task.dir/sim_task_test.cpp.o"
+  "CMakeFiles/test_sim_task.dir/sim_task_test.cpp.o.d"
+  "test_sim_task"
+  "test_sim_task.pdb"
+  "test_sim_task[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

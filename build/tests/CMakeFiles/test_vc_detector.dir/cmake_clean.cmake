@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_detector.dir/vc_detector_test.cpp.o"
+  "CMakeFiles/test_vc_detector.dir/vc_detector_test.cpp.o.d"
+  "test_vc_detector"
+  "test_vc_detector.pdb"
+  "test_vc_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

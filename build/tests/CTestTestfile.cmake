@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_task[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_array[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_order_log[1]_include.cmake")
+include("/root/repo/build/tests/test_replay_gate[1]_include.cmake")
+include("/root/repo/build/tests/test_history_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cord_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_ideal_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_vc_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_injector[1]_include.cmake")
+include("/root/repo/build/tests/test_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_support[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_log_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordsim.dir/cordsim.cpp.o"
+  "CMakeFiles/cordsim.dir/cordsim.cpp.o.d"
+  "cordsim"
+  "cordsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

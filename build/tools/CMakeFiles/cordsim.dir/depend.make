@@ -1,0 +1,2 @@
+# Empty dependencies file for cordsim.
+# This may be replaced when dependencies are built.
