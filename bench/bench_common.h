@@ -9,6 +9,9 @@
  *   CORD_INJECTIONS  injections per app        (default 30)
  *   CORD_SEED        campaign base seed        (default 1)
  *   CORD_APPS        comma-separated app list  (default: all 12)
+ *   CORD_LINT        when set and nonzero, run the cordlint checks
+ *                    (docs/ANALYSIS.md) on every experiment run's
+ *                    artifacts and abort on any finding
  */
 
 #ifndef CORD_BENCH_COMMON_H
@@ -20,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
+#include "cord/log_codec.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
+#include "sim/logging.h"
 #include "workloads/workload.h"
 
 namespace cord
@@ -60,6 +66,46 @@ appList()
     return apps;
 }
 
+/**
+ * When CORD_LINT is set, make the campaign lint every run's artifacts
+ * (order log + trace + online race report) and abort on any error- or
+ * warning-level finding, so accuracy regressions cannot slip through
+ * a figure reproduction silently.
+ */
+inline void
+attachLintObserver(CampaignConfig &cfg)
+{
+    if (envUnsigned("CORD_LINT", 0) == 0)
+        return;
+    cfg.recordTrace = true;
+    const std::string app = cfg.workload;
+    cfg.onRunDone = [app](const CampaignRunView &view) {
+        for (const auto &det : view.detectors) {
+            const auto *cord =
+                dynamic_cast<const CordDetector *>(det.get());
+            if (!cord)
+                continue;
+            const std::vector<std::uint8_t> wire =
+                encodeOrderLog(cord->orderLog());
+            DecodedTrace trace;
+            trace.events = view.trace->events();
+            trace.threadEnds = view.trace->threadEnds();
+            LintInput in;
+            in.wireLog = &wire;
+            in.trace = &trace;
+            in.onlineReport = &cord->races();
+            in.cordConfig = cord->config();
+            const LintReport rep = runLint(in);
+            if (rep.errors() > 0 || rep.warnings() > 0) {
+                std::fputs(rep.renderText().c_str(), stderr);
+                cord_fatal("cordlint failed for ", app,
+                           " injection run #", view.index,
+                           " (detector ", det->name(), ")");
+            }
+        }
+    };
+}
+
 /** Standard campaign configuration for one app. */
 inline CampaignConfig
 campaignFor(const std::string &app)
@@ -71,6 +117,7 @@ campaignFor(const std::string &app)
     cfg.params.seed = envUnsigned("CORD_SEED", 1) * 7 + 5;
     cfg.injections = envUnsigned("CORD_INJECTIONS", 30);
     cfg.seed = envUnsigned("CORD_SEED", 1) * 101 + 13;
+    attachLintObserver(cfg);
     return cfg;
 }
 

@@ -1,0 +1,138 @@
+#include "analysis/findings.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cord
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+void
+LintReport::add(std::string check, Severity sev, std::string message)
+{
+    findings_.push_back(
+        Finding{std::move(check), sev, std::move(message)});
+}
+
+void
+LintReport::markChecked(const std::string &check)
+{
+    checks_.push_back(check);
+}
+
+void
+LintReport::setMetric(const std::string &name, double value)
+{
+    metrics_[name] = value;
+}
+
+std::size_t
+LintReport::count(Severity s) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings_) {
+        if (f.severity == s)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+LintReport::renderText() const
+{
+    std::ostringstream os;
+    os << "cordlint: " << checks_.size() << " checks, " << errors()
+       << " errors, " << warnings() << " warnings\n";
+    for (const Finding &f : findings_) {
+        os << "  [" << severityName(f.severity) << "] " << f.check
+           << ": " << f.message << "\n";
+    }
+    if (!metrics_.empty()) {
+        os << "metrics:\n";
+        for (const auto &[name, value] : metrics_)
+            os << "  " << name << " = " << value << "\n";
+    }
+    os << (errors() == 0 ? "PASS" : "FAIL") << "\n";
+    return os.str();
+}
+
+std::string
+LintReport::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"errors\": " << errors()
+       << ",\n  \"warnings\": " << warnings() << ",\n  \"checks\": [";
+    for (std::size_t i = 0; i < checks_.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(checks_[i]) << '"';
+    os << "],\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings_.size(); ++i) {
+        const Finding &f = findings_[i];
+        os << (i ? ",\n    " : "\n    ") << "{\"check\": \""
+           << jsonEscape(f.check) << "\", \"severity\": \""
+           << severityName(f.severity) << "\", \"message\": \""
+           << jsonEscape(f.message) << "\"}";
+    }
+    os << (findings_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": {";
+    std::size_t i = 0;
+    for (const auto &[name, value] : metrics_) {
+        os << (i++ ? ",\n    " : "\n    ") << '"' << jsonEscape(name)
+           << "\": " << value;
+    }
+    os << (metrics_.empty() ? "}" : "\n  }") << ",\n  \"pass\": "
+       << (errors() == 0 ? "true" : "false") << "\n}\n";
+    return os.str();
+}
+
+} // namespace cord

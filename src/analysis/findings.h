@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structured findings for offline analysis (cordlint).
+ *
+ * Every check contributes zero or more findings to a LintReport; the
+ * report also carries named numeric metrics (coverage ratios, entry
+ * counts) so that results are machine-consumable.  Rendering is
+ * deliberately dependency-free: plain text for humans, a small JSON
+ * emitter for tooling.
+ */
+
+#ifndef CORD_ANALYSIS_FINDINGS_H
+#define CORD_ANALYSIS_FINDINGS_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cord
+{
+
+/** How bad one finding is. */
+enum class Severity
+{
+    Info,    //!< noteworthy but expected (e.g. coverage below 100%)
+    Warning, //!< suspicious; the artifact may still be usable
+    Error,   //!< invariant violation; the artifact is corrupt or wrong
+};
+
+const char *severityName(Severity s);
+
+/** One result of one analysis check. */
+struct Finding
+{
+    std::string check; //!< dotted check identifier, e.g. "log.monotone"
+    Severity severity = Severity::Info;
+    std::string message;
+};
+
+/** Accumulates findings and metrics across all checks of one run. */
+class LintReport
+{
+  public:
+    void add(std::string check, Severity sev, std::string message);
+
+    void
+    info(std::string check, std::string message)
+    {
+        add(std::move(check), Severity::Info, std::move(message));
+    }
+
+    void
+    warning(std::string check, std::string message)
+    {
+        add(std::move(check), Severity::Warning, std::move(message));
+    }
+
+    void
+    error(std::string check, std::string message)
+    {
+        add(std::move(check), Severity::Error, std::move(message));
+    }
+
+    /** Record that a check ran to completion (even if it found nothing). */
+    void markChecked(const std::string &check);
+
+    /** Named numeric result, e.g. "audit.pairCoverage". */
+    void setMetric(const std::string &name, double value);
+
+    const std::vector<Finding> &findings() const { return findings_; }
+    const std::vector<std::string> &checksRun() const { return checks_; }
+    const std::map<std::string, double> &metrics() const { return metrics_; }
+
+    std::size_t count(Severity s) const;
+    std::size_t errors() const { return count(Severity::Error); }
+    std::size_t warnings() const { return count(Severity::Warning); }
+
+    /** True when no error- or warning-level findings were recorded. */
+    bool clean() const { return errors() == 0 && warnings() == 0; }
+
+    /** Human-readable multi-line report. */
+    std::string renderText() const;
+
+    /** Machine-readable report (a single JSON object). */
+    std::string renderJson() const;
+
+  private:
+    std::vector<Finding> findings_;
+    std::vector<std::string> checks_;
+    std::map<std::string, double> metrics_;
+};
+
+} // namespace cord
+
+#endif // CORD_ANALYSIS_FINDINGS_H

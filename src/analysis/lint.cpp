@@ -1,0 +1,55 @@
+#include "analysis/lint.h"
+
+#include <optional>
+
+namespace cord
+{
+
+LintReport
+runLint(const LintInput &in)
+{
+    LintReport report;
+
+    LogCheckOptions opt;
+    opt.initialClock = in.initialClock;
+    opt.numThreads = in.numThreads;
+    if (opt.numThreads == 0 && in.trace)
+        opt.numThreads = HbAnalysis::threadsInTrace(*in.trace);
+
+    // Decode (or adopt) the order log.
+    std::optional<OrderLog> decoded;
+    if (in.wireLog) {
+        decoded = checkWireLog(*in.wireLog, opt, report);
+    } else if (in.log) {
+        decoded = *in.log;
+    }
+
+    if (decoded) {
+        const OrderLog &log = *decoded;
+        checkLogWellFormed(log, opt, report);
+        checkReplayFeasible(log, report);
+        if (in.trace)
+            checkLogMatchesTrace(log, *in.trace, report);
+        report.setMetric("log.entries", static_cast<double>(log.size()));
+        report.setMetric("log.wireBytes",
+                         static_cast<double>(log.wireBytes()));
+    }
+
+    if (in.trace) {
+        const HbAnalysis hb =
+            HbAnalysis::analyze(*in.trace, opt.numThreads);
+        report.setMetric("trace.events",
+                         static_cast<double>(in.trace->events.size()));
+        report.setMetric("trace.threads",
+                         static_cast<double>(hb.numThreads()));
+        if (in.audit)
+            auditCoverage(*in.trace, hb, in.cordConfig, report);
+        if (in.onlineReport)
+            checkNoFalsePositives(hb, *in.onlineReport, "online",
+                                  report);
+    }
+
+    return report;
+}
+
+} // namespace cord

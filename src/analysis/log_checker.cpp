@@ -1,0 +1,198 @@
+#include "analysis/log_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "cord/clock.h"
+#include "cord/log_codec.h"
+
+namespace cord
+{
+
+std::optional<OrderLog>
+checkWireLog(const std::vector<std::uint8_t> &bytes,
+             const LogCheckOptions &opt, LintReport &report)
+{
+    report.markChecked("log.decode");
+    const LenientDecode dec = decodeOrderLogLenient(bytes,
+                                                    opt.initialClock);
+    for (const std::string &p : dec.problems)
+        report.error("log.decode", p);
+    if (bytes.size() < OrderLog::kEntryWireBytes && !bytes.empty())
+        return std::nullopt;
+    return dec.log;
+}
+
+void
+checkLogWellFormed(const OrderLog &log, const LogCheckOptions &opt,
+                   LintReport &report)
+{
+    report.markChecked("log.monotone");
+    report.markChecked("log.window");
+    std::map<ThreadId, Ts64> last;
+    std::size_t index = 0;
+    for (const OrderLogEntry &e : log.entries()) {
+        if (opt.numThreads != 0 && e.tid >= opt.numThreads) {
+            std::ostringstream os;
+            os << "entry #" << index << ": thread ID " << e.tid
+               << " out of range (run had " << opt.numThreads
+               << " threads)";
+            report.error("log.threads", os.str());
+        }
+        if (e.instrs == 0 || e.instrs > 0xffffffffULL) {
+            std::ostringstream os;
+            os << "entry #" << index << " (thread " << e.tid
+               << "): instruction count " << e.instrs
+               << " outside the 32-bit wire field";
+            report.error("log.instrs", os.str());
+        }
+        auto it = last.find(e.tid);
+        if (it != last.end()) {
+            if (e.clock <= it->second) {
+                std::ostringstream os;
+                os << "entry #" << index << " (thread " << e.tid
+                   << "): clock " << e.clock
+                   << " does not increase past " << it->second
+                   << " (fragments of one thread must carry strictly "
+                      "increasing clocks)";
+                report.error("log.monotone", os.str());
+            } else if (e.clock - it->second >= kClockWindow) {
+                std::ostringstream os;
+                os << "entry #" << index << " (thread " << e.tid
+                   << "): clock jump " << e.clock - it->second
+                   << " reaches the sliding window (" << kClockWindow
+                   << "); the wire format cannot represent this -- "
+                      "suspected clock regression or entry reordering";
+                report.error("log.window", os.str());
+            }
+        } else if (e.clock < opt.initialClock) {
+            std::ostringstream os;
+            os << "entry #" << index << " (thread " << e.tid
+               << "): clock " << e.clock
+               << " precedes the initial clock " << opt.initialClock;
+            report.error("log.monotone", os.str());
+        } else if (e.clock - opt.initialClock >= kClockWindow) {
+            // The wire decoder anchors a thread's first entry at the
+            // initial clock; a jump reaching the window is ambiguous
+            // under 16-bit reconstruction and cannot occur while
+            // update stalling bounds cross-thread skew.
+            std::ostringstream os;
+            os << "entry #" << index << " (thread " << e.tid
+               << "): first fragment's clock " << e.clock << " is "
+               << e.clock - opt.initialClock
+               << " past the initial clock, reaching the sliding "
+                  "window (" << kClockWindow
+               << ") -- suspected clock regression or corruption";
+            report.error("log.window", os.str());
+        }
+        last[e.tid] = e.clock;
+        ++index;
+    }
+}
+
+void
+checkReplayFeasible(const OrderLog &log, LintReport &report)
+{
+    report.markChecked("log.replayable");
+
+    // Per-thread fragment queues in log (program) order.
+    std::map<ThreadId, std::vector<Ts64>> clocks;
+    for (const OrderLogEntry &e : log.entries())
+        clocks[e.tid].push_back(e.clock);
+
+    struct Cursor
+    {
+        ThreadId tid;
+        const std::vector<Ts64> *clk;
+        std::size_t next = 0;      //!< next fragment to schedule
+        Ts64 minRemaining = 0;     //!< min clock over fragments >= next
+    };
+    std::vector<Cursor> threads;
+    threads.reserve(clocks.size());
+    for (const auto &[tid, clks] : clocks)
+        threads.push_back(Cursor{tid, &clks});
+
+    // Suffix minima let each step compute the global minimum pending
+    // clock in O(threads).
+    std::map<ThreadId, std::vector<Ts64>> suffixMin;
+    for (const auto &[tid, clks] : clocks) {
+        std::vector<Ts64> sm(clks.size());
+        Ts64 m = ~static_cast<Ts64>(0);
+        for (std::size_t i = clks.size(); i-- > 0;) {
+            m = std::min(m, clks[i]);
+            sm[i] = m;
+        }
+        suffixMin[tid] = std::move(sm);
+    }
+
+    std::size_t remaining = log.size();
+    while (remaining > 0) {
+        Ts64 minPending = ~static_cast<Ts64>(0);
+        for (const Cursor &t : threads) {
+            if (t.next < t.clk->size())
+                minPending = std::min(minPending,
+                                      suffixMin[t.tid][t.next]);
+        }
+        bool progressed = false;
+        for (Cursor &t : threads) {
+            while (t.next < t.clk->size() &&
+                   (*t.clk)[t.next] <= minPending) {
+                ++t.next;
+                --remaining;
+                progressed = true;
+            }
+        }
+        if (!progressed) {
+            std::ostringstream os;
+            os << "no topological replay schedule exists: " << remaining
+               << " fragments cannot be scheduled (blocked threads:";
+            for (const Cursor &t : threads) {
+                if (t.next < t.clk->size())
+                    os << ' ' << t.tid;
+            }
+            os << "); the happens-before graph induced by the log has "
+                  "a cycle";
+            report.error("log.replayable", os.str());
+            return;
+        }
+    }
+}
+
+void
+checkLogMatchesTrace(const OrderLog &log, const DecodedTrace &trace,
+                     LintReport &report)
+{
+    report.markChecked("log.trace");
+    std::map<ThreadId, std::uint64_t> logged;
+    for (const OrderLogEntry &e : log.entries())
+        logged[e.tid] += e.instrs;
+
+    std::map<ThreadId, std::uint64_t> retired;
+    for (const auto &[tid, instrs] : trace.threadEnds)
+        retired[tid] = instrs;
+
+    for (const auto &[tid, instrs] : retired) {
+        const auto it = logged.find(tid);
+        const std::uint64_t sum = it == logged.end() ? 0 : it->second;
+        if (sum != instrs) {
+            std::ostringstream os;
+            os << "thread " << tid << ": log covers " << sum
+               << " instructions but the trace retired " << instrs
+               << (sum < instrs ? " (log truncated?)"
+                                : " (log padded or double-counted?)");
+            report.error("log.trace", os.str());
+        }
+    }
+    for (const auto &[tid, sum] : logged) {
+        if (retired.find(tid) == retired.end()) {
+            std::ostringstream os;
+            os << "thread " << tid << ": " << sum
+               << " logged instructions but the thread never appears "
+                  "in the trace";
+            report.error("log.trace", os.str());
+        }
+    }
+}
+
+} // namespace cord

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Order-log well-formedness verification (cordlint check family "log").
+ *
+ * An order log is the artifact CORD hardware dumps to memory; replay
+ * correctness (paper Section 2.7.1) depends on invariants nothing else
+ * in the system re-validates:
+ *
+ *  - every wire entry decodes (8-byte framing, non-empty fragments);
+ *  - per-thread clocks are strictly increasing and every jump stays
+ *    below the 16-bit sliding window (Section 2.7.5), so the
+ *    epoch-extension performed by the decoder is unambiguous;
+ *  - the happens-before graph induced by per-thread program order plus
+ *    global clock order is acyclic, i.e. a topological replay schedule
+ *    exists (checked constructively by simulating the replay gate);
+ *  - when an access trace of the same run is available, the log covers
+ *    exactly the instructions the threads retired.
+ */
+
+#ifndef CORD_ANALYSIS_LOG_CHECKER_H
+#define CORD_ANALYSIS_LOG_CHECKER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/findings.h"
+#include "cord/order_log.h"
+#include "harness/trace.h"
+
+namespace cord
+{
+
+/** Knobs shared by the log checks. */
+struct LogCheckOptions
+{
+    Ts64 initialClock = 1; //!< clock threads start with (CORD uses 1)
+    unsigned numThreads = 0; //!< 0 = unknown; skips thread-ID bounds
+};
+
+/**
+ * Decode wire bytes leniently, reporting structural problems as
+ * findings.  Returns the decoded log (possibly partial) so downstream
+ * checks can still run; nullopt only when nothing was decodable.
+ */
+std::optional<OrderLog> checkWireLog(const std::vector<std::uint8_t> &bytes,
+                                     const LogCheckOptions &opt,
+                                     LintReport &report);
+
+/**
+ * Per-thread clock monotonicity, bounded jumps, wire-field ranges and
+ * thread-ID bounds over a decoded log.
+ */
+void checkLogWellFormed(const OrderLog &log, const LogCheckOptions &opt,
+                        LintReport &report);
+
+/**
+ * Constructively verify that a topological replay schedule exists by
+ * simulating the ReplayGate scheduling rule: a thread's current
+ * fragment may run only when no unfinished fragment anywhere has a
+ * smaller clock.  Reports an error naming the deadlocked threads when
+ * the induced happens-before graph has a cycle.
+ */
+void checkReplayFeasible(const OrderLog &log, LintReport &report);
+
+/**
+ * Cross-check the log against an access trace of the same run: every
+ * thread's logged fragments must sum to exactly the instructions it
+ * retired (detects whole-entry truncation and padding).
+ */
+void checkLogMatchesTrace(const OrderLog &log, const DecodedTrace &trace,
+                          LintReport &report);
+
+} // namespace cord
+
+#endif // CORD_ANALYSIS_LOG_CHECKER_H

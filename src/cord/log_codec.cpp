@@ -1,5 +1,7 @@
 #include "cord/log_codec.h"
 
+#include <cstdio>
+#include <sstream>
 #include <unordered_map>
 
 #include "cord/clock.h"
@@ -47,14 +49,14 @@ isWireEncodable(const OrderLog &log)
 {
     std::unordered_map<ThreadId, Ts64> last;
     for (const OrderLogEntry &e : log.entries()) {
-        auto it = last.find(e.tid);
-        if (it != last.end()) {
+        auto [it, first] = last.try_emplace(e.tid, e.clock);
+        if (!first) {
             cord_assert(e.clock >= it->second,
                         "per-thread log clocks must not decrease");
             if (e.clock - it->second >= kClockWindow)
                 return false;
+            it->second = e.clock;
         }
-        last[e.tid] = e.clock;
     }
     return true;
 }
@@ -93,18 +95,91 @@ decodeOrderLog(const std::vector<std::uint8_t> &bytes, Ts64 initialClock)
         const Ts16 wire = get16(bytes, off + 2);
         const std::uint32_t instrs = get32(bytes, off + 4);
 
-        auto it = last.find(tid);
-        const Ts64 prev = it == last.end() ? initialClock : it->second;
+        auto [it, first] = last.try_emplace(tid, initialClock);
+        const Ts64 prev = it->second;
         // The true clock is the smallest value >= prev whose low 16
         // bits equal the wire clock (clocks never decrease, and jumps
         // are bounded below the window).
         Ts64 clock = (prev & ~static_cast<Ts64>(0xffff)) | wire;
         if (clock < prev)
             clock += 1ULL << 16;
-        last[tid] = clock;
+        it->second = clock;
         log.append(tid, clock, instrs);
     }
     return log;
+}
+
+LenientDecode
+decodeOrderLogLenient(const std::vector<std::uint8_t> &bytes,
+                      Ts64 initialClock)
+{
+    LenientDecode out;
+    out.trailingBytes = bytes.size() % OrderLog::kEntryWireBytes;
+    if (out.trailingBytes != 0) {
+        std::ostringstream os;
+        os << "log ends mid-entry: " << bytes.size()
+           << " bytes is not a multiple of "
+           << OrderLog::kEntryWireBytes << " (likely truncated)";
+        out.problems.push_back(os.str());
+    }
+    const std::size_t wholeBytes = bytes.size() - out.trailingBytes;
+    std::unordered_map<ThreadId, Ts64> last;
+    std::size_t index = 0;
+    for (std::size_t off = 0; off < wholeBytes;
+         off += OrderLog::kEntryWireBytes, ++index) {
+        const ThreadId tid = static_cast<ThreadId>(get16(bytes, off));
+        const Ts16 wire = get16(bytes, off + 2);
+        const std::uint32_t instrs = get32(bytes, off + 4);
+
+        auto [it, first] = last.try_emplace(tid, initialClock);
+        const Ts64 prev = it->second;
+        Ts64 clock = (prev & ~static_cast<Ts64>(0xffff)) | wire;
+        if (clock < prev)
+            clock += 1ULL << 16;
+        it->second = clock;
+        if (instrs == 0) {
+            std::ostringstream os;
+            os << "entry #" << index << " (thread " << tid
+               << "): zero instruction count (the recorder elides "
+                  "empty fragments)";
+            out.problems.push_back(os.str());
+            continue;
+        }
+        out.log.append(tid, clock, instrs);
+    }
+    return out;
+}
+
+void
+saveOrderLog(const OrderLog &log, const std::string &path)
+{
+    const std::vector<std::uint8_t> bytes = encodeOrderLog(log);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        cord_fatal("cannot open '", path, "' for writing");
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size())
+        cord_fatal("short write to '", path, "'");
+}
+
+std::vector<std::uint8_t>
+loadLogBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        cord_fatal("cannot open '", path, "' for reading");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    const std::size_t read =
+        bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (read != bytes.size())
+        cord_fatal("short read from '", path, "'");
+    return bytes;
 }
 
 } // namespace cord

@@ -15,6 +15,7 @@
 #define CORD_CORD_LOG_CODEC_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cord/order_log.h"
@@ -34,10 +35,37 @@ OrderLog decodeOrderLog(const std::vector<std::uint8_t> &bytes,
                         Ts64 initialClock = 1);
 
 /**
+ * Result of a lenient (non-fatal) wire decode, for offline analysis of
+ * possibly-corrupt logs: whole entries are decoded best-effort and
+ * every structural problem is reported instead of aborting.
+ */
+struct LenientDecode
+{
+    OrderLog log;
+    std::vector<std::string> problems; //!< empty = structurally clean
+    std::size_t trailingBytes = 0;     //!< bytes past the last entry
+};
+
+/**
+ * Decode without aborting on malformed input (cordlint's entry point).
+ * Trailing partial entries and zero-instruction entries are recorded
+ * as problems; zero-instruction entries are dropped from the log (the
+ * recorder never emits them) but still advance clock reconstruction.
+ */
+LenientDecode decodeOrderLogLenient(const std::vector<std::uint8_t> &bytes,
+                                    Ts64 initialClock = 1);
+
+/**
  * True when the log satisfies the bounded-jump invariant the wire
  * format requires (per-thread clock deltas below the half-window).
  */
 bool isWireEncodable(const OrderLog &log);
+
+/** Encode @p log and write the wire bytes to @p path (fatal on I/O error). */
+void saveOrderLog(const OrderLog &log, const std::string &path);
+
+/** Read raw wire bytes from @p path (fatal on I/O error). */
+std::vector<std::uint8_t> loadLogBytes(const std::string &path);
 
 } // namespace cord
 

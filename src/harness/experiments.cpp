@@ -108,6 +108,7 @@ runCampaign(const CampaignConfig &cfg,
         for (const DetectorSpec &s : specs)
             dets.push_back(s.make(cfg.machine.numCores,
                                   cfg.params.numThreads));
+        TraceRecorder trace;
 
         RunSetup setup;
         setup.workload = cfg.workload;
@@ -118,10 +119,17 @@ runCampaign(const CampaignConfig &cfg,
         setup.detectors.push_back(&ideal);
         for (auto &d : dets)
             setup.detectors.push_back(d.get());
+        if (cfg.recordTrace)
+            setup.detectors.push_back(&trace);
 
         const RunOutcome out = runWorkload(setup);
         if (!out.completed)
             ++res.timeouts;
+        if (cfg.onRunDone && out.completed) {
+            cfg.onRunDone(CampaignRunView{
+                i, out, ideal, dets,
+                cfg.recordTrace ? &trace : nullptr});
+        }
 
         if (!ideal.races().problemDetected())
             continue; // removal was redundant (Figure 10 denominator)

@@ -18,6 +18,7 @@
 #include "cord/cord_detector.h"
 #include "cord/vc_detector.h"
 #include "harness/runner.h"
+#include "harness/trace.h"
 
 namespace cord
 {
@@ -43,6 +44,18 @@ DetectorSpec vcInfCacheSpec();
 DetectorSpec vcL2CacheSpec();
 DetectorSpec vcL1CacheSpec();
 
+/** Everything an observer may inspect after one campaign run. */
+struct CampaignRunView
+{
+    unsigned index = 0;           //!< injection index within campaign
+    const RunOutcome &outcome;
+    const Detector &ideal;        //!< the run's Ideal ground truth
+    /** Per-spec detector instances, parallel to the spec list. */
+    const std::vector<std::unique_ptr<Detector>> &detectors;
+    /** Access trace; non-null only with CampaignConfig::recordTrace. */
+    const TraceRecorder *trace = nullptr;
+};
+
 /** One injection campaign over one application. */
 struct CampaignConfig
 {
@@ -51,6 +64,15 @@ struct CampaignConfig
     MachineConfig machine;
     unsigned injections = 40;
     std::uint64_t seed = 0xC02D; // campaign RNG seed
+
+    /** Attach a TraceRecorder to every injection run (needed by
+     *  post-run lint observers; costs memory proportional to the
+     *  access count). */
+    bool recordTrace = false;
+
+    /** Called after every completed injection run, e.g. to lint the
+     *  run's artifacts (tools/cordlint does the same offline). */
+    std::function<void(const CampaignRunView &)> onRunDone;
 };
 
 /** Aggregated campaign outcome. */

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Seeded corruption of wire-format order logs, for validating that
+ * cordlint's well-formedness checks catch real damage (the analysis
+ * analog of the sync-removal injector): tail truncation, reordered
+ * entries, clock regressions and zeroed fragments.
+ *
+ * Every corruption is chosen deterministically from an Rng so the test
+ * campaigns are reproducible, and each is constructed to violate an
+ * invariant the lint checks verify -- detection must be 100%, not
+ * best-effort.
+ */
+
+#ifndef CORD_INJECT_LOG_CORRUPTOR_H
+#define CORD_INJECT_LOG_CORRUPTOR_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cord/clock.h"
+#include "cord/order_log.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** The kinds of damage the corruptor can inflict on a wire log. */
+enum class LogCorruptionKind : std::uint8_t
+{
+    TruncateTail,       //!< drop bytes so the log ends mid-entry
+    SwapAdjacentEntries, //!< reorder two fragments of one thread
+    ClockRegression,    //!< move one fragment's clock backwards
+    ZeroInstrCount,     //!< zero one fragment's instruction count
+};
+
+constexpr std::array<LogCorruptionKind, 4> kAllLogCorruptions = {
+    LogCorruptionKind::TruncateTail,
+    LogCorruptionKind::SwapAdjacentEntries,
+    LogCorruptionKind::ClockRegression,
+    LogCorruptionKind::ZeroInstrCount,
+};
+
+inline const char *
+logCorruptionName(LogCorruptionKind k)
+{
+    switch (k) {
+      case LogCorruptionKind::TruncateTail:
+        return "truncate-tail";
+      case LogCorruptionKind::SwapAdjacentEntries:
+        return "swap-adjacent-entries";
+      case LogCorruptionKind::ClockRegression:
+        return "clock-regression";
+      case LogCorruptionKind::ZeroInstrCount:
+        return "zero-instr-count";
+    }
+    return "unknown";
+}
+
+/** What one corruption attempt did. */
+struct LogCorruptionOutcome
+{
+    bool applied = false;    //!< false = log has no viable target
+    std::string description; //!< human-readable record of the damage
+};
+
+namespace corrupt_detail
+{
+
+inline std::uint16_t
+read16(const std::vector<std::uint8_t> &b, std::size_t off)
+{
+    return static_cast<std::uint16_t>(
+        b[off] | (static_cast<unsigned>(b[off + 1]) << 8));
+}
+
+inline void
+write16(std::vector<std::uint8_t> &b, std::size_t off, std::uint16_t v)
+{
+    b[off] = static_cast<std::uint8_t>(v & 0xff);
+    b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+} // namespace corrupt_detail
+
+/**
+ * Apply one seeded corruption of @p kind to @p bytes in place.
+ * @p initialClock must match the recording (CORD uses 1).
+ */
+inline LogCorruptionOutcome
+corruptWireLog(std::vector<std::uint8_t> &bytes, LogCorruptionKind kind,
+               Rng &rng, Ts64 initialClock = 1)
+{
+    using namespace corrupt_detail;
+    constexpr std::size_t kEntry = OrderLog::kEntryWireBytes;
+    const std::size_t n = bytes.size() / kEntry;
+    LogCorruptionOutcome out;
+    if (n == 0)
+        return out;
+
+    std::ostringstream os;
+    switch (kind) {
+      case LogCorruptionKind::TruncateTail: {
+        // Drop whole entries plus a partial one, so the framing check
+        // always trips (a whole-entry truncation is only detectable
+        // against a trace).
+        const std::size_t wholeDropped =
+            static_cast<std::size_t>(rng.below(std::min<std::uint64_t>(
+                n, 4)));
+        const std::size_t partial =
+            1 + static_cast<std::size_t>(rng.below(kEntry - 1));
+        const std::size_t keep =
+            bytes.size() - wholeDropped * kEntry - partial;
+        bytes.resize(keep);
+        os << "truncated " << wholeDropped << " whole entries plus "
+           << partial << " bytes off the tail";
+        out.applied = true;
+        break;
+      }
+      case LogCorruptionKind::SwapAdjacentEntries: {
+        // Candidates: consecutive entries of the same thread with
+        // different wire clocks (swapping breaks the per-thread clock
+        // chain, which the decoder surfaces as a window violation).
+        std::vector<std::pair<std::size_t, std::size_t>> cands;
+        std::vector<std::size_t> lastOfThread(1u << 16,
+                                              static_cast<std::size_t>(-1));
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint16_t tid = read16(bytes, i * kEntry);
+            const std::size_t prev = lastOfThread[tid];
+            if (prev != static_cast<std::size_t>(-1) &&
+                read16(bytes, prev * kEntry + 2) !=
+                    read16(bytes, i * kEntry + 2))
+                cands.emplace_back(prev, i);
+            lastOfThread[tid] = i;
+        }
+        if (cands.empty())
+            return out;
+        const auto [a, b] = cands[static_cast<std::size_t>(
+            rng.below(cands.size()))];
+        for (std::size_t k = 0; k < kEntry; ++k)
+            std::swap(bytes[a * kEntry + k], bytes[b * kEntry + k]);
+        os << "swapped same-thread entries #" << a << " and #" << b;
+        out.applied = true;
+        break;
+      }
+      case LogCorruptionKind::ClockRegression: {
+        // Rewind one entry's wire clock below its per-thread
+        // predecessor.  The decoder reconstructs this as a forward
+        // jump of >= the sliding window, which log.window flags.
+        const std::size_t target =
+            static_cast<std::size_t>(rng.below(n));
+        std::unordered_map<std::uint16_t, Ts64> last;
+        std::uint64_t jump = 0;
+        for (std::size_t i = 0; i <= target; ++i) {
+            const std::uint16_t tid = read16(bytes, i * kEntry);
+            const std::uint16_t wire = read16(bytes, i * kEntry + 2);
+            auto it = last.find(tid);
+            const Ts64 prev = it == last.end() ? initialClock
+                                               : it->second;
+            Ts64 clock = (prev & ~static_cast<Ts64>(0xffff)) | wire;
+            if (clock < prev)
+                clock += 1ULL << 16;
+            if (i == target)
+                jump = clock - prev;
+            last[tid] = clock;
+        }
+        // delta > jump regresses the clock past its predecessor; the
+        // bound keeps the decoded forward jump >= kClockWindow.
+        const std::uint16_t delta = static_cast<std::uint16_t>(
+            jump + 1 + rng.below(256));
+        const std::size_t off = target * kEntry + 2;
+        write16(bytes, off,
+                static_cast<std::uint16_t>(read16(bytes, off) - delta));
+        os << "regressed entry #" << target << "'s clock by " << delta;
+        out.applied = true;
+        break;
+      }
+      case LogCorruptionKind::ZeroInstrCount: {
+        const std::size_t target =
+            static_cast<std::size_t>(rng.below(n));
+        for (std::size_t k = 4; k < kEntry; ++k)
+            bytes[target * kEntry + k] = 0;
+        os << "zeroed entry #" << target << "'s instruction count";
+        out.applied = true;
+        break;
+      }
+    }
+    out.description = os.str();
+    return out;
+}
+
+} // namespace cord
+
+#endif // CORD_INJECT_LOG_CORRUPTOR_H

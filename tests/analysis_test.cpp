@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the offline analysis subsystem (src/analysis): lint report
+ * plumbing, order-log well-formedness checks, the happens-before
+ * ground-truth analyzer, the false-negative coverage auditor and the
+ * no-false-positive checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/auditor.h"
+#include "analysis/findings.h"
+#include "analysis/hb_analyzer.h"
+#include "analysis/lint.h"
+#include "analysis/log_checker.h"
+#include "cord/clock.h"
+#include "cord/cord_detector.h"
+#include "cord/ideal_detector.h"
+#include "cord/log_codec.h"
+#include "harness/runner.h"
+#include "harness/trace.h"
+#include "inject/injector.h"
+
+namespace cord
+{
+namespace
+{
+
+/** Record one clean run: CORD + Ideal + trace. */
+struct Recording
+{
+    std::vector<std::uint8_t> wireLog;
+    DecodedTrace trace;
+    RaceReport cordReport;
+    std::uint64_t cordPairs = 0;
+    std::uint64_t idealPairs = 0;
+    bool completed = false;
+};
+
+Recording
+record(const std::string &workload, std::uint64_t seed,
+       const InjectionPick *pick = nullptr, Tick maxTicks = 0)
+{
+    CordConfig cc;
+    CordDetector cord(cc);
+    IdealDetector ideal(4);
+    TraceRecorder trace;
+
+    RunSetup setup;
+    setup.workload = workload;
+    setup.params.seed = seed;
+    setup.detectors = {&cord, &ideal, &trace};
+    RemoveOneInstance filter(pick ? *pick : InjectionPick{});
+    if (pick) {
+        setup.filter = &filter;
+        setup.maxTicks = maxTicks ? maxTicks : 500000000ULL;
+    }
+    const RunOutcome out = runWorkload(setup);
+
+    Recording rec;
+    rec.completed = out.completed;
+    if (!out.completed)
+        return rec;
+    rec.wireLog = encodeOrderLog(cord.orderLog());
+    rec.trace.events = trace.events();
+    rec.trace.threadEnds = trace.threadEnds();
+    for (const RaceRecord &r : cord.races().samples())
+        rec.cordReport.record(r);
+    rec.cordPairs = cord.races().pairs();
+    rec.idealPairs = ideal.races().pairs();
+    return rec;
+}
+
+/** Find an injection on cholesky whose removal manifests races. */
+const Recording &
+racyRecording()
+{
+    static const Recording rec = [] {
+        for (std::uint64_t seq = 0; seq < 20; ++seq) {
+            const InjectionPick pick{0, seq};
+            Recording r = record("cholesky", 3, &pick);
+            if (r.completed && r.idealPairs > 0)
+                return r;
+        }
+        return Recording{};
+    }();
+    return rec;
+}
+
+TEST(LintClean, ZeroFindingsOnThreeWorkloads)
+{
+    // Acceptance gate: clean order logs from >= 3 Splash-2 analogs
+    // must lint with zero findings.
+    for (const char *app : {"fft", "lu", "radix"}) {
+        const Recording rec = record(app, 11);
+        ASSERT_TRUE(rec.completed) << app;
+        ASSERT_FALSE(rec.wireLog.empty()) << app;
+
+        LintInput in;
+        in.wireLog = &rec.wireLog;
+        in.trace = &rec.trace;
+        in.onlineReport = &rec.cordReport;
+        const LintReport report = runLint(in);
+        EXPECT_TRUE(report.findings().empty())
+            << app << ":\n" << report.renderText();
+        EXPECT_TRUE(report.clean()) << app;
+        EXPECT_GT(report.metrics().at("log.entries"), 0.0) << app;
+    }
+}
+
+TEST(HbAnalyzer, MatchesIdealOnRacyRun)
+{
+    const Recording &rec = racyRecording();
+    ASSERT_TRUE(rec.completed)
+        << "no manifesting injection found on cholesky";
+    ASSERT_GT(rec.idealPairs, 0u);
+
+    const HbAnalysis hb = HbAnalysis::analyze(rec.trace);
+    EXPECT_EQ(hb.numThreads(), 4u);
+    EXPECT_EQ(hb.pairs(), rec.idealPairs)
+        << "offline HB ground truth disagrees with the online Ideal "
+           "detector on the same committed access stream";
+    EXPECT_TRUE(hb.problemDetected());
+
+    // Every race's later endpoint must be queryable at its exact
+    // coordinates.
+    for (const HbRace &r : hb.races())
+        EXPECT_TRUE(hb.racyEndpoint(r.tick, r.word, r.accessor));
+}
+
+TEST(Auditor, CoverageReproducibleFromTraceAlone)
+{
+    const Recording &rec = racyRecording();
+    ASSERT_TRUE(rec.completed);
+
+    const HbAnalysis hb = HbAnalysis::analyze(rec.trace);
+    CordConfig cfg; // same margin D as the online run
+    LintReport r1, r2;
+    const CoverageBreakdown c1 = auditCoverage(rec.trace, hb, cfg, r1);
+    const CoverageBreakdown c2 = auditCoverage(rec.trace, hb, cfg, r2);
+
+    // Deterministic: two audits of the same artifact agree exactly.
+    EXPECT_EQ(c1.idealPairs, c2.idealPairs);
+    EXPECT_EQ(c1.cordPairs, c2.cordPairs);
+    EXPECT_EQ(c1.missedWords, c2.missedWords);
+
+    // And the offline CORD re-run reproduces the online counts
+    // without re-running the simulator.
+    EXPECT_EQ(c1.cordPairs, rec.cordPairs);
+    EXPECT_EQ(c1.idealPairs, rec.idealPairs);
+    EXPECT_LE(c1.pairCoverage(), 1.0);
+    EXPECT_EQ(r1.errors(), 0u) << r1.renderText();
+}
+
+TEST(Auditor, OnlineReportHasNoFalsePositives)
+{
+    const Recording &rec = racyRecording();
+    ASSERT_TRUE(rec.completed);
+    const HbAnalysis hb = HbAnalysis::analyze(rec.trace);
+    LintReport report;
+    checkNoFalsePositives(hb, rec.cordReport, "online", report);
+    EXPECT_EQ(report.errors(), 0u) << report.renderText();
+}
+
+TEST(Auditor, FlagsFabricatedRaceAsFalsePositive)
+{
+    const Recording &rec = racyRecording();
+    ASSERT_TRUE(rec.completed);
+    const HbAnalysis hb = HbAnalysis::analyze(rec.trace);
+
+    RaceReport fabricated;
+    fabricated.record(RaceRecord{/*tick=*/1, /*addr=*/0xdead0000,
+                                 /*accessor=*/0, AccessKind::DataWrite,
+                                 10, 20});
+    LintReport report;
+    checkNoFalsePositives(hb, fabricated, "online", report);
+    EXPECT_EQ(report.errors(), 1u) << report.renderText();
+    EXPECT_NE(report.renderText().find("FALSE POSITIVE"),
+              std::string::npos);
+}
+
+TEST(LogChecker, MonotonicityViolationIsInfeasible)
+{
+    OrderLog log;
+    log.append(0, 9, 10);
+    log.append(0, 5, 10); // program order contradicts clock order
+    log.append(1, 7, 10);
+
+    LintReport report;
+    checkLogWellFormed(log, LogCheckOptions{}, report);
+    checkReplayFeasible(log, report);
+    EXPECT_GE(report.errors(), 2u) << report.renderText();
+    const std::string text = report.renderText();
+    EXPECT_NE(text.find("log.monotone"), std::string::npos);
+    EXPECT_NE(text.find("log.replayable"), std::string::npos);
+}
+
+TEST(LogChecker, EqualClocksAcrossThreadsAreFeasible)
+{
+    OrderLog log;
+    log.append(0, 1, 5);
+    log.append(1, 1, 5); // concurrent fragments may share a clock
+    log.append(0, 2, 5);
+    log.append(1, 3, 5);
+
+    LintReport report;
+    checkLogWellFormed(log, LogCheckOptions{}, report);
+    checkReplayFeasible(log, report);
+    EXPECT_EQ(report.errors(), 0u) << report.renderText();
+}
+
+TEST(LogChecker, WindowJumpIsAnError)
+{
+    OrderLog log;
+    log.append(0, 1, 5);
+    log.append(0, 1 + kClockWindow, 5);
+    LintReport report;
+    checkLogWellFormed(log, LogCheckOptions{}, report);
+    EXPECT_EQ(report.errors(), 1u) << report.renderText();
+    EXPECT_NE(report.renderText().find("log.window"),
+              std::string::npos);
+}
+
+TEST(LogChecker, FirstEntryAnchoredAtInitialClock)
+{
+    OrderLog log;
+    log.append(0, 1 + kClockWindow, 5); // ambiguous reconstruction
+    LintReport report;
+    checkLogWellFormed(log, LogCheckOptions{}, report);
+    EXPECT_EQ(report.errors(), 1u) << report.renderText();
+}
+
+TEST(LogChecker, TraceCrossCheckCatchesWholeEntryTruncation)
+{
+    const Recording rec = record("fft", 11);
+    ASSERT_TRUE(rec.completed);
+
+    // Drop one whole trailing entry: framing stays valid, so only the
+    // trace cross-check can notice.
+    std::vector<std::uint8_t> clipped = rec.wireLog;
+    clipped.resize(clipped.size() - OrderLog::kEntryWireBytes);
+
+    LintInput in;
+    in.wireLog = &clipped;
+    in.trace = &rec.trace;
+    in.audit = false;
+    const LintReport report = runLint(in);
+    EXPECT_GE(report.errors(), 1u) << report.renderText();
+    EXPECT_NE(report.renderText().find("log.trace"), std::string::npos);
+}
+
+TEST(Findings, RenderingAndCounts)
+{
+    LintReport report;
+    report.markChecked("log.decode");
+    report.error("log.decode", "bad \"framing\"\n");
+    report.warning("log.window", "close to the edge");
+    report.info("audit.coverage", "77% of pairs");
+    report.setMetric("audit.pairCoverage", 0.77);
+
+    EXPECT_EQ(report.errors(), 1u);
+    EXPECT_EQ(report.warnings(), 1u);
+    EXPECT_FALSE(report.clean());
+
+    const std::string text = report.renderText();
+    EXPECT_NE(text.find("[error] log.decode"), std::string::npos);
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+
+    const std::string json = report.renderJson();
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\\\"framing\\\"\\n"), std::string::npos);
+    EXPECT_NE(json.find("\"pass\": false"), std::string::npos);
+}
+
+TEST(Lint, WorksWithoutTrace)
+{
+    const Recording rec = record("fft", 11);
+    ASSERT_TRUE(rec.completed);
+    LintInput in;
+    in.wireLog = &rec.wireLog;
+    const LintReport report = runLint(in);
+    EXPECT_TRUE(report.clean()) << report.renderText();
+    EXPECT_EQ(report.metrics().count("audit.pairCoverage"), 0u)
+        << "audit must be skipped without a trace";
+}
+
+} // namespace
+} // namespace cord

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "cord/clock.h"
 #include "cord/cord_detector.h"
 #include "cord/log_codec.h"
@@ -113,6 +115,126 @@ TEST(LogCodec, RealRecordingRoundTrips)
             << "entry " << i;
         EXPECT_EQ(decoded.entries()[i].instrs, log.entries()[i].instrs);
     }
+}
+
+TEST(LogCodec, MaxLengthRunRoundTrips)
+{
+    // The 32-bit instruction-count field must carry its extremes.
+    OrderLog log;
+    log.append(0, 1, 0xffffffffu);
+    log.append(0, 2, 1);
+    log.append(0, 3, 0xffffffffu);
+    const OrderLog decoded = decodeOrderLog(encodeOrderLog(log));
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded.entries()[0].instrs, 0xffffffffu);
+    EXPECT_EQ(decoded.entries()[2].instrs, 0xffffffffu);
+}
+
+TEST(LogCodec, LargestLegalJumpRoundTrips)
+{
+    // jump == kClockWindow - 1 is the boundary the window permits.
+    OrderLog log;
+    log.append(0, 1, 10);
+    log.append(0, 1 + kClockWindow - 1, 10);
+    ASSERT_TRUE(isWireEncodable(log));
+    const OrderLog decoded = decodeOrderLog(encodeOrderLog(log));
+    EXPECT_EQ(decoded.entries()[1].clock, 1 + kClockWindow - 1);
+}
+
+TEST(LogCodecLenient, CleanLogDecodesWithoutProblems)
+{
+    OrderLog log;
+    log.append(0, 1, 100);
+    log.append(1, 4, 50);
+    const LenientDecode d = decodeOrderLogLenient(encodeOrderLog(log));
+    EXPECT_TRUE(d.problems.empty());
+    EXPECT_EQ(d.trailingBytes, 0u);
+    EXPECT_EQ(d.log.size(), 2u);
+}
+
+TEST(LogCodecLenient, TruncatedBufferKeepsWholeEntries)
+{
+    OrderLog log;
+    log.append(0, 1, 100);
+    log.append(0, 2, 50);
+    log.append(0, 3, 25);
+    for (std::size_t cut = 1; cut < OrderLog::kEntryWireBytes; ++cut) {
+        auto bytes = encodeOrderLog(log);
+        bytes.resize(bytes.size() - cut);
+        const LenientDecode d = decodeOrderLogLenient(bytes);
+        EXPECT_EQ(d.log.size(), 2u) << "cut " << cut;
+        EXPECT_EQ(d.trailingBytes, OrderLog::kEntryWireBytes - cut);
+        ASSERT_EQ(d.problems.size(), 1u) << "cut " << cut;
+        EXPECT_NE(d.problems[0].find("mid-entry"), std::string::npos);
+    }
+}
+
+TEST(LogCodecLenient, SubEntryBufferIsAllTrailing)
+{
+    const std::vector<std::uint8_t> bytes(5, 0xab);
+    const LenientDecode d = decodeOrderLogLenient(bytes);
+    EXPECT_EQ(d.log.size(), 0u);
+    EXPECT_EQ(d.trailingBytes, 5u);
+    EXPECT_EQ(d.problems.size(), 1u);
+}
+
+TEST(LogCodecLenient, ZeroInstrEntryDroppedButAdvancesClockChain)
+{
+    OrderLog log;
+    log.append(0, 1, 100);
+    log.append(0, 30000, 50);
+    log.append(0, 60000, 25);
+    auto bytes = encodeOrderLog(log);
+    // Zero out the middle entry's instruction count; the recorder
+    // never emits such entries, so the decoder must flag it.
+    for (std::size_t k = 4; k < OrderLog::kEntryWireBytes; ++k)
+        bytes[OrderLog::kEntryWireBytes + k] = 0;
+
+    const LenientDecode d = decodeOrderLogLenient(bytes);
+    ASSERT_EQ(d.problems.size(), 1u);
+    EXPECT_NE(d.problems[0].find("zero"), std::string::npos);
+    // Dropped from the log, but clock reconstruction still saw it:
+    // the final entry's 64-bit clock must be unchanged.
+    ASSERT_EQ(d.log.size(), 2u);
+    EXPECT_EQ(d.log.entries()[1].clock, 60000u);
+}
+
+TEST(LogCodecLenient, WraparoundSurvivesLenientPath)
+{
+    OrderLog log;
+    Ts64 clock = 1;
+    for (int i = 0; i < 40; ++i) {
+        log.append(2, clock, 10);
+        clock += 12000;
+    }
+    const LenientDecode d = decodeOrderLogLenient(encodeOrderLog(log));
+    ASSERT_TRUE(d.problems.empty());
+    ASSERT_EQ(d.log.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i)
+        EXPECT_EQ(d.log.entries()[i].clock, log.entries()[i].clock);
+}
+
+TEST(LogCodec, SaveAndLoadRoundTrip)
+{
+    OrderLog log;
+    log.append(0, 1, 100);
+    log.append(1, 2, 64);
+    log.append(0, 5, 32);
+    const std::string path =
+        ::testing::TempDir() + "log_codec_roundtrip.ordlog";
+    saveOrderLog(log, path);
+    const std::vector<std::uint8_t> bytes = loadLogBytes(path);
+    EXPECT_EQ(bytes, encodeOrderLog(log));
+    std::remove(path.c_str());
+}
+
+TEST(LogCodec, SaveAndLoadEmptyLog)
+{
+    const std::string path =
+        ::testing::TempDir() + "log_codec_empty.ordlog";
+    saveOrderLog(OrderLog{}, path);
+    EXPECT_TRUE(loadLogBytes(path).empty());
+    std::remove(path.c_str());
 }
 
 } // namespace

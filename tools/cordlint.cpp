@@ -1,0 +1,129 @@
+/**
+ * @file
+ * cordlint -- offline static analysis of CORD run artifacts.
+ *
+ * Consumes the serialized order log and/or access trace a run left
+ * behind (cordsim --save-log / --trace) and runs the full check suite
+ * without re-running the simulator: log well-formedness and replay
+ * feasibility, the CORD-vs-Ideal false-negative coverage audit, and
+ * the no-false-positive proof.  See docs/ANALYSIS.md.
+ *
+ * Usage:
+ *   cordlint [options]
+ *     --log FILE      wire-format order log (8 bytes per entry)
+ *     --trace FILE    access trace of the same run
+ *     --threads N     thread count (default: derived from the inputs)
+ *     --d N           CORD margin D for the offline audit (default 16)
+ *     --no-audit      skip the (more expensive) coverage audit
+ *     --json          emit the report as JSON instead of text
+ *     --strict        exit nonzero on warnings, not just errors
+ *
+ * Exit status: 0 = clean, 1 = findings, 2 = usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "analysis/lint.h"
+#include "cord/log_codec.h"
+#include "harness/trace.h"
+
+using namespace cord;
+
+namespace
+{
+
+struct Options
+{
+    std::string logPath;
+    std::string tracePath;
+    unsigned threads = 0;
+    std::uint32_t d = 16;
+    bool audit = true;
+    bool json = false;
+    bool strict = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--log FILE] [--trace FILE] [--threads N]"
+                 " [--d N]\n"
+                 "       [--no-audit] [--json] [--strict]\n"
+                 "at least one of --log / --trace is required\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--log") {
+            opt.logPath = next();
+        } else if (a == "--trace") {
+            opt.tracePath = next();
+        } else if (a == "--threads") {
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--d") {
+            opt.d = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--no-audit") {
+            opt.audit = false;
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--strict") {
+            opt.strict = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.logPath.empty() && opt.tracePath.empty())
+        usage(argv[0]);
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    std::vector<std::uint8_t> logBytes;
+    std::optional<DecodedTrace> trace;
+    if (!opt.tracePath.empty())
+        trace = loadTrace(opt.tracePath);
+    if (!opt.logPath.empty())
+        logBytes = loadLogBytes(opt.logPath);
+
+    LintInput in;
+    if (!opt.logPath.empty())
+        in.wireLog = &logBytes;
+    if (trace)
+        in.trace = &*trace;
+    in.numThreads = opt.threads;
+    in.cordConfig.d = opt.d;
+    in.audit = opt.audit;
+
+    const LintReport report = runLint(in);
+    const std::string rendered =
+        opt.json ? report.renderJson() : report.renderText();
+    std::fputs(rendered.c_str(), stdout);
+
+    if (report.errors() > 0)
+        return 1;
+    if (opt.strict && report.warnings() > 0)
+        return 1;
+    return 0;
+}

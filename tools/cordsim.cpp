@@ -21,6 +21,10 @@
  *     --migrate N         migrate threads every N instructions
  *     --replay            verify deterministic replay after the run
  *     --trace FILE        dump the access trace to FILE
+ *     --save-log FILE     dump the wire-format order log to FILE
+ *     --lint              run the cordlint checks on the run's
+ *                         artifacts (docs/ANALYSIS.md); exit 1 on
+ *                         findings
  *     --list              list available workloads and exit
  */
 
@@ -29,8 +33,10 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/lint.h"
 #include "cord/cord_detector.h"
 #include "cord/ideal_detector.h"
+#include "cord/log_codec.h"
 #include "cord/replay.h"
 #include "cord/vc_detector.h"
 #include "harness/runner.h"
@@ -57,6 +63,8 @@ struct Options
     std::uint64_t migrate = 0;
     bool replay = false;
     std::string tracePath;
+    std::string logPath;
+    bool lint = false;
 };
 
 [[noreturn]] void
@@ -68,7 +76,8 @@ usage(const char *argv0)
                  "       [--seed N] [--d N] [--inject TID:SEQ]"
                  " [--directory]\n"
                  "       [--migrate N] [--replay] [--trace FILE]"
-                 " [--list]\n",
+                 " [--save-log FILE]\n"
+                 "       [--lint] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -115,6 +124,10 @@ parse(int argc, char **argv)
             opt.replay = true;
         } else if (a == "--trace") {
             opt.tracePath = next();
+        } else if (a == "--save-log") {
+            opt.logPath = next();
+        } else if (a == "--lint") {
+            opt.lint = true;
         } else if (a == "--list") {
             for (const auto &n : workloadNames())
                 std::printf("%s\n", n.c_str());
@@ -166,7 +179,7 @@ main(int argc, char **argv)
     IdealDetector ideal(opt.threads);
     TraceRecorder trace;
     setup.detectors = {&cord, &vcd, &ideal};
-    if (!opt.tracePath.empty())
+    if (!opt.tracePath.empty() || opt.lint)
         setup.detectors.push_back(&trace);
 
     const RunOutcome out = runWorkload(setup);
@@ -225,6 +238,32 @@ main(int argc, char **argv)
         saveTrace(trace, opt.tracePath);
         std::printf("trace         : %zu events -> %s\n",
                     trace.events().size(), opt.tracePath.c_str());
+    }
+
+    if (!opt.logPath.empty() && out.completed) {
+        saveOrderLog(cord.orderLog(), opt.logPath);
+        std::printf("order log     : %zu bytes -> %s\n",
+                    cord.orderLog().wireBytes(), opt.logPath.c_str());
+    }
+
+    if (opt.lint && out.completed) {
+        const std::vector<std::uint8_t> wire =
+            encodeOrderLog(cord.orderLog());
+        DecodedTrace decoded;
+        decoded.events = trace.events();
+        decoded.threadEnds = trace.threadEnds();
+
+        LintInput lin;
+        lin.wireLog = &wire;
+        lin.trace = &decoded;
+        lin.onlineReport = &cord.races();
+        lin.numThreads = opt.threads;
+        lin.cordConfig = cc;
+        const LintReport lint = runLint(lin);
+        std::printf("---- cordlint ----\n%s",
+                    lint.renderText().c_str());
+        if (lint.errors() > 0)
+            return 1;
     }
 
     if (opt.replay && out.completed) {
