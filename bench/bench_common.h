@@ -12,6 +12,10 @@
  *   CORD_LINT        when set and nonzero, run the cordlint checks
  *                    (docs/ANALYSIS.md) on every experiment run's
  *                    artifacts and abort on any finding
+ *   CORD_VERBOSITY   simulator log chatter (sim/logging.h): 0 silences
+ *                    warn() and inform(), 1 keeps warnings only,
+ *                    2 (default) prints everything; panics and fatals
+ *                    are never suppressed
  */
 
 #ifndef CORD_BENCH_COMMON_H

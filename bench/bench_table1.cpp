@@ -6,19 +6,41 @@
  * repository runs, plus measured run statistics (shared footprint,
  * committed accesses, removable synchronization instances) from one
  * clean run per application.
+ *
+ * Pass --json to print the table as JSON instead of text.  Either way
+ * the binary writes a `BENCH_table1.json` run manifest (schema:
+ * docs/OBSERVABILITY.md) with the table and per-app metrics embedded,
+ * for CI artifact upload and `cordstat` consumption.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.h"
 #include "harness/runner.h"
+#include "obs/manifest.h"
 
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("CORD reproduction -- Table 1: applications and inputs\n");
+    bool json = false;
+    for (int i = 1; i < argc; ++i)
+        json = json || std::strcmp(argv[i], "--json") == 0;
+
+    if (!json)
+        std::printf(
+            "CORD reproduction -- Table 1: applications and inputs\n");
+
+    RunManifest manifest;
+    manifest.tool = "bench_table1";
+    manifest.seed = 7;
+    manifest.setConfig("scale",
+                       std::uint64_t(bench::envUnsigned("CORD_SCALE", 2)));
+    manifest.setConfig("threads", std::uint64_t(4));
+    manifest.stampTime();
+
     TextTable t({"App", "Paper input", "Our input (analog)",
                  "Sync idiom", "Footprint", "Accesses", "SyncInst"});
     for (const std::string &app : bench::appList()) {
@@ -36,7 +58,20 @@ main()
                   w->meta().syncIdiom, foot,
                   std::to_string(out.accesses),
                   std::to_string(out.totalInstances())});
+        manifest.metrics.add(app, out.stats);
+        manifest.simTicks += out.ticks;
     }
-    t.print("Table 1: applications evaluated and their input sets");
+
+    const std::string title =
+        "Table 1: applications evaluated and their input sets";
+    if (json)
+        t.printJson(title);
+    else
+        t.print(title);
+
+    manifest.tables.push_back({title, t.headers(), t.rows()});
+    manifest.save("BENCH_table1.json");
+    if (!json)
+        std::printf("manifest: BENCH_table1.json\n");
     return 0;
 }

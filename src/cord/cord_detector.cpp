@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
 #include "sim/logging.h"
 
 namespace cord
@@ -27,6 +28,8 @@ CordDetector::CordDetector(const CordConfig &cfg, std::string name)
     for (ThreadId t = 0; t < cfg_.numThreads; ++t)
         writers_[t].begin(cfg_.recordOrder ? &log_ : nullptr, t, 1);
     lastTid_.assign(cfg_.numCores, kInvalidThread);
+    clockJumpHist_ = &stats_.histogramRef("cord.clockJumpMagnitude");
+    occupancyGauge_ = &stats_.gaugeRef("cord.historyOccupancy");
 }
 
 void
@@ -112,8 +115,12 @@ CordDetector::invalidateRemote(CoreId core, Addr addr, Tick now)
             continue;
         const bool dropped = caches_[oc].invalidate(
             addr, [&](Addr, LineState &st) { foldIntoMemTs(st, now); });
-        if (dropped)
+        if (dropped) {
             stats_.inc("cord.coherenceInvalidations");
+            if (EventTracer *t = EventTracer::active())
+                t->emit(TraceEventKind::HistoryDisplacement, now,
+                        kInvalidThread, oc, addr, 0);
+        }
     }
 }
 
@@ -125,9 +132,12 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
     const std::uint16_t wbit =
         static_cast<std::uint16_t>(1u << wordInLine(addr));
     LineState &ls = caches_[core].getOrInsert(
-        addr, [&](Addr, LineState &st) {
+        addr, [&](Addr victimAddr, LineState &st) {
             foldIntoMemTs(st, now);
             stats_.inc("cord.lineDisplacements");
+            if (EventTracer *t = EventTracer::active())
+                t->emit(TraceEventKind::HistoryDisplacement, now,
+                        kInvalidThread, core, victimAddr, 0);
         });
 
     // Find an entry already carrying this clock value.
@@ -153,6 +163,9 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
             tmp.e[0] = ls.e[victim];
             foldIntoMemTs(tmp, now);
             stats_.inc("cord.entryDisplacements");
+            if (EventTracer *t = EventTracer::active())
+                t->emit(TraceEventKind::HistoryDisplacement, now,
+                        kInvalidThread, core, addr, ls.e[victim].ts);
         }
         ls.e[victim] = Entry{};
         ls.e[victim].valid = true;
@@ -178,6 +191,24 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
     }
 }
 
+void
+CordDetector::commitClockChange(OrderLogWriter &wr, Ts64 newClock,
+                                std::uint64_t instrBoundary,
+                                const MemEvent &ev)
+{
+    const Ts64 old = wr.clock();
+    const std::size_t entriesBefore = log_.size();
+    wr.changeClock(newClock, instrBoundary);
+    clockJumpHist_->add(newClock - old);
+    if (EventTracer *t = EventTracer::active()) {
+        t->emit(TraceEventKind::ClockUpdate, ev.tick, ev.tid, ev.core,
+                newClock, old);
+        if (log_.size() > entriesBefore)
+            t->emit(TraceEventKind::LogAppend, ev.tick, ev.tid, ev.core,
+                    old, log_.size());
+    }
+}
+
 Ts64
 CordDetector::minActiveClock() const
 {
@@ -200,8 +231,12 @@ CordDetector::runWalker(Tick now)
     const Ts64 minClk = minActiveClock();
     if (minClk == 0)
         return;
-    for (auto &cache : caches_) {
-        cache.forEach([&](Addr, LineState &ls) {
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        auto &cache = caches_[c];
+        // The walker's periodic sweep doubles as the mid-run sampling
+        // point for history-cache occupancy.
+        occupancyGauge_->add(static_cast<double>(cache.residentCount()));
+        cache.forEach([&](Addr lineA, LineState &ls) {
             for (unsigned i = 0; i < cfg_.entriesPerLine; ++i) {
                 Entry &e = ls.e[i];
                 if (!e.valid)
@@ -210,8 +245,11 @@ CordDetector::runWalker(Tick now)
                     LineState tmp;
                     tmp.e[0] = e;
                     foldIntoMemTs(tmp, now);
-                    e = Entry{};
                     stats_.inc("cord.walkerEvictions");
+                    if (EventTracer *t = EventTracer::active())
+                        t->emit(TraceEventKind::HistoryDisplacement,
+                                now, kInvalidThread, c, lineA, e.ts);
+                    e = Entry{};
                 }
             }
         });
@@ -270,6 +308,9 @@ CordDetector::onAccess(const MemEvent &ev)
     if (needCheck) {
         sr = snoop(ev.core, ev.addr, isW, clock);
         stats_.inc("cord.raceChecks");
+        if (EventTracer *t = EventTracer::active())
+            t->emit(TraceEventKind::HistoryLookup, ev.tick,
+                    kInvalidThread, ev.core, ev.addr, isW);
         // A check from a cache hit is extra address/timestamp-bus
         // traffic; a miss's check piggybacks on the miss transaction.
         if (localHit && sink_)
@@ -294,6 +335,10 @@ CordDetector::onAccess(const MemEvent &ev)
                         report_.record({ev.tick, ev.addr, ev.tid, ev.kind,
                                         clock, sr.conflictTs[i]});
                         stats_.inc("cord.dataRaces");
+                        if (EventTracer *t = EventTracer::active())
+                            t->emit(TraceEventKind::RaceReport, ev.tick,
+                                    ev.tid, ev.core, ev.addr,
+                                    sr.conflictTs[i]);
                     }
                 }
             }
@@ -329,7 +374,7 @@ CordDetector::onAccess(const MemEvent &ev)
 
     // Commit the (single) pre-access clock change to the order log.
     if (newClock != wr.clock())
-        wr.changeClock(newClock, ev.instrCount - 1);
+        commitClockChange(wr, newClock, ev.instrCount - 1, ev);
 
     // Coherence: a committed write invalidates all remote copies,
     // folding their histories into the main-memory timestamps.
@@ -341,7 +386,14 @@ CordDetector::onAccess(const MemEvent &ev)
 
     // Clock increment after every synchronization write (Section 2.4).
     if (sync && isW)
-        wr.changeClock(newClock + 1, ev.instrCount);
+        commitClockChange(wr, newClock + 1, ev.instrCount, ev);
+
+    if (sync) {
+        if (EventTracer *t = EventTracer::active())
+            t->emit(isW ? TraceEventKind::SyncRelease
+                        : TraceEventKind::SyncAcquire,
+                    ev.tick, ev.tid, ev.core, ev.addr, wr.clock());
+    }
 
     if (wr.clock() > maxClock_)
         maxClock_ = wr.clock();
@@ -367,6 +419,9 @@ CordDetector::finish()
 {
     stats_.set("cord.logEntries", log_.size());
     stats_.set("cord.logWireBytes", log_.wireBytes());
+    HistogramStat &entryHist = stats_.histogramRef("cord.logEntryInstrs");
+    for (const OrderLogEntry &e : log_.entries())
+        entryHist.add(e.instrs);
 }
 
 } // namespace cord

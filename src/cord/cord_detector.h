@@ -141,6 +141,13 @@ class CordDetector : public Detector
     /** Periodic stale-timestamp eviction (Section 2.7.5). */
     void runWalker(Tick now);
 
+    /** Advance @p wr to @p newClock at @p instrBoundary, recording the
+     *  clock-jump histogram and the trace events (clock update plus any
+     *  order-log append it produced). */
+    void commitClockChange(OrderLogWriter &wr, Ts64 newClock,
+                           std::uint64_t instrBoundary,
+                           const MemEvent &ev);
+
     /** Minimum clock across threads that are still running. */
     Ts64 minActiveClock() const;
 
@@ -159,6 +166,10 @@ class CordDetector : public Detector
     std::uint64_t eventsSeen_ = 0;
     Ts64 maxClockAtLastWalk_ = 0;
     Ts64 maxClock_ = 1;
+
+    /** Hot-path metrics resolved once at construction (stats.h). */
+    HistogramStat *clockJumpHist_ = nullptr;
+    GaugeStat *occupancyGauge_ = nullptr;
 };
 
 } // namespace cord

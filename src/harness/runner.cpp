@@ -59,6 +59,19 @@ runWorkload(const RunSetup &setup)
             sim.readChecksum(static_cast<ThreadId>(t)));
     }
 
+    out.stats.set("sim.ticks", out.ticks);
+    out.stats.set("sim.committedAccesses", out.accesses);
+    out.stats.set("sim.footprintWords", out.footprintWords);
+    out.stats.set("sim.syncInstances.lock", out.lockInstances);
+    out.stats.set("sim.syncInstances.flag", out.flagInstances);
+    std::uint64_t totalInstrs = 0;
+    for (auto n : out.instrs)
+        totalInstrs += n;
+    out.stats.set("sim.instrsRetired", totalInstrs);
+    StatRegistry memStats;
+    sim.mem().exportStats(memStats);
+    out.stats.merge("mem", memStats);
+
     if (setup.timingCord)
         setup.timingCord->setTrafficSink(nullptr);
     return out;

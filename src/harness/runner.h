@@ -70,6 +70,11 @@ struct RunOutcome
     std::vector<std::uint64_t> readChecksums;
     std::size_t footprintWords = 0;
 
+    /** Machine-level metrics ("sim.*", "mem.*") snapshotted at run end;
+     *  detector metrics stay with the detector objects.  Feed into a
+     *  MetricHub (obs/metrics.h) for manifests. */
+    StatRegistry stats;
+
     std::uint64_t
     totalInstances() const
     {

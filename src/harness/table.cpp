@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
+#include "obs/manifest.h"
 #include "sim/logging.h"
 
 namespace cord
@@ -66,6 +68,21 @@ TextTable::print(const std::string &title) const
     std::printf("\n");
     for (const auto &row : rows_)
         printRow(row);
+    std::fflush(stdout);
+}
+
+std::string
+TextTable::renderJson(const std::string &title) const
+{
+    JsonWriter w(/*pretty=*/true);
+    writeTableJson(w, title, headers_, rows_);
+    return w.str();
+}
+
+void
+TextTable::printJson(const std::string &title) const
+{
+    std::printf("%s\n", renderJson(title).c_str());
     std::fflush(stdout);
 }
 

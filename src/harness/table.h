@@ -1,7 +1,9 @@
 /**
  * @file
- * Plain-text table rendering for the benchmark binaries, which print
- * the paper's figures as per-application rows.
+ * Table rendering for the benchmark binaries, which print the paper's
+ * figures as per-application rows: aligned ASCII for humans, and the
+ * shared {"title","headers","rows"} JSON schema (obs/manifest.h) for
+ * machine-readable bench artifacts (--json / BENCH_*.json).
  */
 
 #ifndef CORD_HARNESS_TABLE_H
@@ -30,6 +32,19 @@ class TextTable
 
     /** Render to stdout with a title line. */
     void print(const std::string &title) const;
+
+    /** Render as a JSON object ({"title","headers","rows"}). */
+    std::string renderJson(const std::string &title) const;
+
+    /** Print renderJson() to stdout (the --json output mode). */
+    void printJson(const std::string &title) const;
+
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
   private:
     std::vector<std::string> headers_;

@@ -17,7 +17,10 @@
 #define CORD_MEM_BUS_H
 
 #include <cstdint>
+#include <string>
 
+#include "obs/tracer.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 
 namespace cord
@@ -29,8 +32,12 @@ class BusChannel
   public:
     /**
      * @param occupancy processor cycles one transaction holds the channel
+     * @param busId trace-track identity (0 = addr/ts, 1 = data, 2 = mem)
      */
-    explicit BusChannel(Tick occupancy) : occupancy_(occupancy) {}
+    explicit BusChannel(Tick occupancy, CoreId busId = 0)
+        : occupancy_(occupancy), busId_(busId)
+    {
+    }
 
     /**
      * Request the channel at time @p now.
@@ -45,7 +52,19 @@ class BusChannel
         busyCycles_ += occupancy_;
         ++transactions_;
         waitCycles_ += grant - now;
+        if (EventTracer *t = EventTracer::active())
+            t->emit(TraceEventKind::BusTransaction, grant,
+                    kInvalidThread, busId_, grant - now, occupancy_);
         return grant;
+    }
+
+    /** Export utilization counters under "@p prefix.". */
+    void
+    exportStats(StatRegistry &reg, const std::string &prefix) const
+    {
+        reg.set(prefix + ".transactions", transactions_);
+        reg.set(prefix + ".busyCycles", busyCycles_);
+        reg.set(prefix + ".waitCycles", waitCycles_);
     }
 
     /** Cycles a single transaction occupies the channel. */
@@ -75,6 +94,7 @@ class BusChannel
 
   private:
     Tick occupancy_;
+    CoreId busId_;
     Tick freeAt_ = 0;
     Tick busyCycles_ = 0;
     Tick waitCycles_ = 0;

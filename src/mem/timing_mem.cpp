@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/tracer.h"
 #include "sim/logging.h"
 
 namespace cord
@@ -9,9 +10,9 @@ namespace cord
 
 TimingMemSystem::TimingMemSystem(const MachineConfig &cfg)
     : cfg_(cfg),
-      addrBus_(cfg.addrBusOccupancy),
-      dataBus_(cfg.dataBusOccupancy),
-      memBus_(cfg.offChipBusOccupancy)
+      addrBus_(cfg.addrBusOccupancy, 0),
+      dataBus_(cfg.dataBusOccupancy, 1),
+      memBus_(cfg.offChipBusOccupancy, 2)
 {
     cfg_.l1.validate();
     cfg_.l2.validate();
@@ -45,6 +46,9 @@ TimingMemSystem::handleL2Victim(CoreId core,
 {
     // Inclusion: L1 copy goes with the L2 line.
     l1_[core].invalidate(victim.addr);
+    if (EventTracer *t = EventTracer::active())
+        t->emit(TraceEventKind::CacheEvict, now, kInvalidThread, core,
+                victim.addr, victim.state.mesi == Mesi::Modified);
     if (victim.state.mesi == Mesi::Modified) {
         // Fire-and-forget write-back: occupies the buses but does not
         // extend the latency of the access that triggered the eviction.
@@ -144,6 +148,9 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
         res.source = ServiceSource::Memory;
     }
     ++serviceCounts_[static_cast<unsigned>(res.source)];
+    if (EventTracer *t = EventTracer::active())
+        t->emit(TraceEventKind::CacheFill, now, kInvalidThread, core,
+                line, static_cast<std::uint64_t>(res.source));
 
     // Install the line locally.
     std::optional<CacheArray<L2State>::Line> victim;
@@ -177,6 +184,22 @@ void
 TimingMemSystem::chargeMemTsBroadcast(Tick now)
 {
     addrBus_.acquire(now);
+}
+
+void
+TimingMemSystem::exportStats(StatRegistry &reg) const
+{
+    addrBus_.exportStats(reg, "bus.addr");
+    dataBus_.exportStats(reg, "bus.data");
+    memBus_.exportStats(reg, "bus.mem");
+    reg.set("service.l1Hits",
+            serviceCount(ServiceSource::L1Hit));
+    reg.set("service.l2Hits",
+            serviceCount(ServiceSource::L2Hit));
+    reg.set("service.cacheToCache",
+            serviceCount(ServiceSource::CacheToCache));
+    reg.set("service.memory",
+            serviceCount(ServiceSource::Memory));
 }
 
 } // namespace cord

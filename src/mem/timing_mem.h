@@ -94,6 +94,10 @@ class TimingMemSystem
         return serviceCounts_[static_cast<unsigned>(s)];
     }
 
+    /** Export bus utilization and service-source counters ("bus.*",
+     *  "service.*") into @p reg for metric snapshots (obs/metrics.h). */
+    void exportStats(StatRegistry &reg) const;
+
     const MachineConfig &config() const { return cfg_; }
 
   private:

@@ -1,0 +1,25 @@
+#include "obs/build_info.h"
+
+#ifndef CORD_GIT_HASH
+#define CORD_GIT_HASH "unknown"
+#endif
+#ifndef CORD_BUILD_TYPE
+#define CORD_BUILD_TYPE "unknown"
+#endif
+
+namespace cord
+{
+
+const char *
+buildGitHash()
+{
+    return CORD_GIT_HASH;
+}
+
+const char *
+buildType()
+{
+    return CORD_BUILD_TYPE;
+}
+
+} // namespace cord

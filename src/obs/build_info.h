@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Build stamp for run manifests: the git revision and build type are
+ * captured at CMake configure time (src/obs/CMakeLists.txt) so every
+ * artifact records which code produced it.
+ */
+
+#ifndef CORD_OBS_BUILD_INFO_H
+#define CORD_OBS_BUILD_INFO_H
+
+namespace cord
+{
+
+/** Short git hash of the configured source tree ("unknown" outside a
+ *  git checkout); "-dirty" is appended when the tree had local edits. */
+const char *buildGitHash();
+
+/** CMake build type ("RelWithDebInfo", "Debug", ...). */
+const char *buildType();
+
+} // namespace cord
+
+#endif // CORD_OBS_BUILD_INFO_H

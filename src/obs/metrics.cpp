@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace cord
+{
+
+namespace
+{
+
+/** One node of the dotted-name hierarchy. */
+struct MetricNode
+{
+    enum class Leaf : std::uint8_t { None, Counter, Gauge, Histogram };
+
+    Leaf leaf = Leaf::None;
+    std::uint64_t counter = 0;
+    GaugeStat gauge;
+    HistogramStat hist;
+    std::map<std::string, MetricNode> children;
+};
+
+MetricNode &
+insertPath(MetricNode &root, const std::string &name)
+{
+    MetricNode *node = &root;
+    std::size_t start = 0;
+    while (start <= name.size()) {
+        const std::size_t dot = name.find('.', start);
+        const std::string seg =
+            name.substr(start, dot == std::string::npos ? std::string::npos
+                                                        : dot - start);
+        node = &node->children[seg];
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return *node;
+}
+
+MetricNode
+buildTree(const StatRegistry &reg)
+{
+    MetricNode root;
+    for (const auto &[name, v] : reg.all()) {
+        MetricNode &n = insertPath(root, name);
+        n.leaf = MetricNode::Leaf::Counter;
+        n.counter = v;
+    }
+    for (const auto &[name, g] : reg.gauges()) {
+        MetricNode &n = insertPath(root, name);
+        n.leaf = MetricNode::Leaf::Gauge;
+        n.gauge = g;
+    }
+    for (const auto &[name, h] : reg.histograms()) {
+        MetricNode &n = insertPath(root, name);
+        n.leaf = MetricNode::Leaf::Histogram;
+        n.hist = h;
+    }
+    return root;
+}
+
+void
+writeLeaf(JsonWriter &w, const MetricNode &n)
+{
+    switch (n.leaf) {
+      case MetricNode::Leaf::Counter:
+        w.value(n.counter);
+        break;
+      case MetricNode::Leaf::Gauge:
+        w.beginObject();
+        w.field("type", "gauge");
+        w.field("count", n.gauge.count);
+        w.field("mean", n.gauge.mean());
+        w.field("min", n.gauge.min);
+        w.field("max", n.gauge.max);
+        w.field("sum", n.gauge.sum);
+        w.endObject();
+        break;
+      case MetricNode::Leaf::Histogram: {
+        w.beginObject();
+        w.field("type", "histogram");
+        w.field("count", n.hist.count);
+        w.field("mean", n.hist.mean());
+        w.field("min", n.hist.min);
+        w.field("max", n.hist.max);
+        w.field("sum", n.hist.sum);
+        w.key("buckets");
+        w.beginArray();
+        for (unsigned b = 0; b < HistogramStat::kBuckets; ++b) {
+            if (n.hist.buckets[b] == 0)
+                continue;
+            w.beginObject();
+            w.field("lo", HistogramStat::bucketLow(b));
+            w.field("hi", HistogramStat::bucketHigh(b));
+            w.field("n", n.hist.buckets[b]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        break;
+      }
+      case MetricNode::Leaf::None:
+        w.null();
+        break;
+    }
+}
+
+void
+writeNode(JsonWriter &w, const MetricNode &n)
+{
+    if (n.children.empty()) {
+        writeLeaf(w, n);
+        return;
+    }
+    w.beginObject();
+    if (n.leaf != MetricNode::Leaf::None) {
+        w.key("value");
+        writeLeaf(w, n);
+    }
+    for (const auto &[seg, child] : n.children) {
+        w.key(seg);
+        writeNode(w, child);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+MetricHub::writeJson(JsonWriter &w) const
+{
+    writeNode(w, buildTree(merged_));
+}
+
+std::string
+MetricHub::renderText() const
+{
+    std::ostringstream os;
+    char buf[64];
+    for (const auto &[name, v] : merged_.all())
+        os << name << " = " << v << "\n";
+    for (const auto &[name, g] : merged_.gauges()) {
+        std::snprintf(buf, sizeof(buf), "%g/%g/%g", g.min, g.mean(),
+                      g.max);
+        os << name << " = gauge(n=" << g.count << ", min/mean/max="
+           << buf << ")\n";
+    }
+    for (const auto &[name, h] : merged_.histograms()) {
+        std::snprintf(buf, sizeof(buf), "%g", h.mean());
+        os << name << " = histogram(n=" << h.count << ", min=" << h.min
+           << ", mean=" << buf << ", max=" << h.max << ")\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+void
+flattenInto(const JsonValue &v, const std::string &prefix,
+            std::map<std::string, double> &out)
+{
+    if (v.isNumber()) {
+        out[prefix] = v.asNumber();
+        return;
+    }
+    if (!v.isObject())
+        return;
+
+    const std::string type = v.str("type");
+    if (type == "gauge" || type == "histogram") {
+        for (const char *fieldName :
+             {"count", "mean", "min", "max", "sum"}) {
+            const JsonValue *f = v.find(fieldName);
+            if (f && f->isNumber())
+                out[prefix + "." + fieldName] = f->asNumber();
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        const std::string &key = v.keys()[i];
+        const std::string name =
+            key == "value" ? prefix
+            : prefix.empty() ? key
+                             : prefix + "." + key;
+        flattenInto(v.items()[i], name, out);
+    }
+}
+
+} // namespace
+
+std::map<std::string, double>
+flattenMetricsJson(const JsonValue &metrics)
+{
+    std::map<std::string, double> out;
+    flattenInto(metrics, "", out);
+    return out;
+}
+
+} // namespace cord

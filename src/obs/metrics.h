@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hierarchical metrics snapshots.
+ *
+ * Components keep their own StatRegistry (sim/stats.h) with dotted
+ * metric names; a MetricHub collects those registries under component
+ * prefixes ("mem", "detector.CORD", ...) into one snapshot-able view
+ * that renders as nested JSON (for run manifests) or flat text (for
+ * cordstat).  The dotted name defines the hierarchy:
+ * "mem.bus.addr.waitCycles" becomes {"mem":{"bus":{"addr":{...}}}}.
+ */
+
+#ifndef CORD_OBS_METRICS_H
+#define CORD_OBS_METRICS_H
+
+#include <map>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace cord
+{
+
+class JsonWriter;
+class JsonValue;
+
+/** Aggregates component StatRegistries into one hierarchical view. */
+class MetricHub
+{
+  public:
+    /** Merge @p reg's metrics under prefix "@p component." (may be
+     *  called repeatedly; same-named counters accumulate). */
+    void
+    add(const std::string &component, const StatRegistry &reg)
+    {
+        merged_.merge(component, reg);
+    }
+
+    /** The merged flat registry (dotted names). */
+    const StatRegistry &flat() const { return merged_; }
+
+    /**
+     * Emit the snapshot as one nested JSON object.  Counters are plain
+     * numbers; gauges and histograms are objects tagged with "type".
+     * A name that is both a leaf and a prefix emits its leaf under
+     * "value" inside the subtree object.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** Flat "name = value" text, one metric per line, sorted. */
+    std::string renderText() const;
+
+  private:
+    StatRegistry merged_;
+};
+
+/**
+ * Flatten a parsed metrics JSON subtree (as written by
+ * MetricHub::writeJson) back into dotted-name scalars.  Counters map to
+ * their value; gauges and histograms contribute their summary fields as
+ * "<name>.count", "<name>.mean", "<name>.min", "<name>.max" (and
+ * "<name>.sum").  Used by cordstat diff/agg and the tests.
+ */
+std::map<std::string, double> flattenMetricsJson(const JsonValue &metrics);
+
+} // namespace cord
+
+#endif // CORD_OBS_METRICS_H

@@ -5,6 +5,19 @@
 
 namespace cord
 {
+
+int
+logVerbosity()
+{
+    static const int level = [] {
+        const char *v = std::getenv("CORD_VERBOSITY");
+        if (!v || !*v)
+            return 2;
+        return std::atoi(v);
+    }();
+    return level;
+}
+
 namespace detail
 {
 
@@ -25,12 +38,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (logVerbosity() < 1)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logVerbosity() < 2)
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -3,6 +3,11 @@
  * Error and status reporting helpers, following the gem5 convention:
  * panic() for internal invariant violations (simulator bugs), fatal()
  * for user/configuration errors, warn()/inform() for status messages.
+ *
+ * The CORD_VERBOSITY environment variable gates the non-fatal chatter
+ * (useful for bench campaigns and CI logs): 0 silences warn and inform,
+ * 1 keeps warnings only, 2 (the default) prints everything.  panic and
+ * fatal are never suppressed.
  */
 
 #ifndef CORD_SIM_LOGGING_H
@@ -15,6 +20,9 @@
 
 namespace cord
 {
+
+/** Effective CORD_VERBOSITY level (0 = quiet, 1 = warnings, 2 = all). */
+int logVerbosity();
 
 namespace detail
 {

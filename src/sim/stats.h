@@ -1,16 +1,24 @@
 /**
  * @file
- * Minimal named-statistics registry.
+ * Named-statistics registry.
  *
- * Components register scalar counters by dotted name; the harness and
- * benchmark binaries read them back for the paper's tables.  Values are
- * plain 64-bit counters or doubles; no binning is needed for the CORD
- * experiments.
+ * Components register metrics by dotted name ("cord.raceChecks",
+ * "bus.addr.waitCycles"); the dots define the hierarchy that the
+ * observability layer (src/obs/metrics.h) snapshots into nested JSON.
+ * Three metric kinds are supported:
+ *
+ *  - counters: monotonically accumulated 64-bit values (inc/set/get);
+ *  - gauges: double-valued samples summarized as count/sum/min/max
+ *    (sample/gauge), e.g. history-cache occupancy over time;
+ *  - histograms: log2-bucketed 64-bit distributions (observe/histogram),
+ *    e.g. clock-jump magnitudes.  Bucket k holds values whose bit width
+ *    is k: bucket 0 is exactly {0}, bucket k>=1 is [2^(k-1), 2^k).
  */
 
 #ifndef CORD_SIM_STATS_H
 #define CORD_SIM_STATS_H
 
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -20,10 +28,94 @@
 namespace cord
 {
 
-/** A registry of named scalar statistics. */
+/** Summary of a double-valued gauge (min/max/mean over samples). */
+struct GaugeStat
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+
+    void
+    add(double v)
+    {
+        if (count == 0) {
+            min = max = v;
+        } else {
+            if (v < min)
+                min = v;
+            if (v > max)
+                max = v;
+        }
+        sum += v;
+        ++count;
+    }
+};
+
+/** A log2-bucketed histogram of 64-bit values. */
+struct HistogramStat
+{
+    /** Bucket count: one for zero plus one per possible bit width. */
+    static constexpr unsigned kBuckets = 65;
+
+    std::uint64_t buckets[kBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+
+    /** Bucket index of @p v: its bit width (0 only for v == 0). */
+    static constexpr unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /** Inclusive lower bound of bucket @p b. */
+    static constexpr std::uint64_t
+    bucketLow(unsigned b)
+    {
+        return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+    }
+
+    /** Inclusive upper bound of bucket @p b. */
+    static constexpr std::uint64_t
+    bucketHigh(unsigned b)
+    {
+        if (b == 0)
+            return 0;
+        if (b == kBuckets - 1)
+            return ~std::uint64_t(0);
+        return (std::uint64_t(1) << b) - 1;
+    }
+
+    double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+
+    void
+    add(std::uint64_t v)
+    {
+        ++buckets[bucketOf(v)];
+        if (count == 0) {
+            min = max = v;
+        } else {
+            if (v < min)
+                min = v;
+            if (v > max)
+                max = v;
+        }
+        sum += v;
+        ++count;
+    }
+};
+
+/** A registry of named statistics (counters, gauges, histograms). */
 class StatRegistry
 {
   public:
+    /// @{ @name Counters
+
     /** Add @p delta to counter @p name (creating it at zero). */
     void
     inc(const std::string &name, std::uint64_t delta = 1)
@@ -58,12 +150,134 @@ class StatRegistry
     {
         return counters_;
     }
+    /// @}
 
-    /** Drop every counter. */
-    void clear() { counters_.clear(); }
+    /// @{ @name Gauges (double samples, min/max/mean)
+
+    /** Record one sample of gauge @p name. */
+    void
+    sample(const std::string &name, double v)
+    {
+        gauges_[name].add(v);
+    }
+
+    /** Read gauge @p name (zero-count when never sampled). */
+    GaugeStat
+    gauge(const std::string &name) const
+    {
+        auto it = gauges_.find(name);
+        return it == gauges_.end() ? GaugeStat{} : it->second;
+    }
+
+    /** Stable reference to gauge @p name (see histogramRef()). */
+    GaugeStat &
+    gaugeRef(const std::string &name)
+    {
+        return gauges_[name];
+    }
+
+    const std::map<std::string, GaugeStat> &gauges() const
+    {
+        return gauges_;
+    }
+    /// @}
+
+    /// @{ @name Histograms (log2 buckets)
+
+    /** Record one value into histogram @p name. */
+    void
+    observe(const std::string &name, std::uint64_t v)
+    {
+        histograms_[name].add(v);
+    }
+
+    /** Read histogram @p name (empty when never observed). */
+    HistogramStat
+    histogram(const std::string &name) const
+    {
+        auto it = histograms_.find(name);
+        return it == histograms_.end() ? HistogramStat{} : it->second;
+    }
+
+    /**
+     * Stable reference to histogram @p name for hot paths: resolve the
+     * name once, then add() through the reference instead of paying a
+     * string-keyed map lookup per observation.  (map nodes never move,
+     * so the reference stays valid until clear().)
+     */
+    HistogramStat &
+    histogramRef(const std::string &name)
+    {
+        return histograms_[name];
+    }
+
+    const std::map<std::string, HistogramStat> &histograms() const
+    {
+        return histograms_;
+    }
+    /// @}
+
+    /** Merge every metric of @p other under prefix "@p prefix.". */
+    void
+    merge(const std::string &prefix, const StatRegistry &other)
+    {
+        const std::string pre = prefix.empty() ? "" : prefix + ".";
+        for (const auto &[n, v] : other.counters_)
+            counters_[pre + n] += v;
+        for (const auto &[n, g] : other.gauges_) {
+            GaugeStat &dst = gauges_[pre + n];
+            if (g.count == 0)
+                continue;
+            if (dst.count == 0) {
+                dst = g;
+            } else {
+                dst.count += g.count;
+                dst.sum += g.sum;
+                if (g.min < dst.min)
+                    dst.min = g.min;
+                if (g.max > dst.max)
+                    dst.max = g.max;
+            }
+        }
+        for (const auto &[n, h] : other.histograms_) {
+            HistogramStat &dst = histograms_[pre + n];
+            if (h.count == 0)
+                continue;
+            if (dst.count == 0) {
+                dst = h;
+            } else {
+                for (unsigned b = 0; b < HistogramStat::kBuckets; ++b)
+                    dst.buckets[b] += h.buckets[b];
+                dst.count += h.count;
+                dst.sum += h.sum;
+                if (h.min < dst.min)
+                    dst.min = h.min;
+                if (h.max > dst.max)
+                    dst.max = h.max;
+            }
+        }
+    }
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && gauges_.empty() &&
+               histograms_.empty();
+    }
+
+    /** Drop every metric. */
+    void
+    clear()
+    {
+        counters_.clear();
+        gauges_.clear();
+        histograms_.clear();
+    }
 
   private:
     std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, GaugeStat> gauges_;
+    std::map<std::string, HistogramStat> histograms_;
 };
 
 } // namespace cord

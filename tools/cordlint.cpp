@@ -3,7 +3,8 @@
  * cordlint -- offline static analysis of CORD run artifacts.
  *
  * Consumes the serialized order log and/or access trace a run left
- * behind (cordsim --save-log / --trace) and runs the full check suite
+ * behind (cordsim --save-log / --save-trace) and runs the full check
+ * suite
  * without re-running the simulator: log well-formedness and replay
  * feasibility, the CORD-vs-Ideal false-negative coverage audit, and
  * the no-false-positive proof.  See docs/ANALYSIS.md.

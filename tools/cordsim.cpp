@@ -5,7 +5,8 @@
  * Runs one workload on the simulated CMP with a configurable detector
  * set and prints a run summary: races found by each detector, order
  * log statistics, memory-system behaviour and (optionally) a replay
- * verification pass.
+ * verification pass.  Options accept both "--opt value" and
+ * "--opt=value" spellings.
  *
  * Usage:
  *   cordsim [options]
@@ -20,7 +21,15 @@
  *     --directory         directory coherence instead of snooping
  *     --migrate N         migrate threads every N instructions
  *     --replay            verify deterministic replay after the run
- *     --trace FILE        dump the access trace to FILE
+ *     --trace FILE        record structured simulator events and write
+ *                         them as Chrome-trace JSON (open in Perfetto;
+ *                         docs/OBSERVABILITY.md; ring capacity via
+ *                         CORD_TRACE_CAPACITY, default 32768 events)
+ *     --manifest FILE     write the machine-readable run manifest
+ *                         (config, seed, build stamp, metrics, lint
+ *                         verdict; inspect with cordstat)
+ *     --save-trace FILE   dump the binary access trace to FILE (the
+ *                         cordlint input format)
  *     --save-log FILE     dump the wire-format order log to FILE
  *     --lint              run the cordlint checks on the run's
  *                         artifacts (docs/ANALYSIS.md); exit 1 on
@@ -28,9 +37,12 @@
  *     --list              list available workloads and exit
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/lint.h"
@@ -42,6 +54,8 @@
 #include "harness/runner.h"
 #include "harness/trace.h"
 #include "inject/injector.h"
+#include "obs/manifest.h"
+#include "obs/tracer.h"
 
 using namespace cord;
 
@@ -62,7 +76,9 @@ struct Options
     bool directory = false;
     std::uint64_t migrate = 0;
     bool replay = false;
-    std::string tracePath;
+    std::string tracePath;    //!< Chrome-trace JSON output
+    std::string manifestPath; //!< run-manifest JSON output
+    std::string accessTracePath; //!< binary access trace (cordlint)
     std::string logPath;
     bool lint = false;
 };
@@ -76,8 +92,9 @@ usage(const char *argv0)
                  "       [--seed N] [--d N] [--inject TID:SEQ]"
                  " [--directory]\n"
                  "       [--migrate N] [--replay] [--trace FILE]"
-                 " [--save-log FILE]\n"
-                 "       [--lint] [--list]\n",
+                 " [--manifest FILE]\n"
+                 "       [--save-trace FILE] [--save-log FILE]"
+                 " [--lint] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -87,8 +104,19 @@ parse(int argc, char **argv)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
+        std::string a = argv[i];
+        // Support --opt=value next to --opt value.
+        std::string inlineValue;
+        bool haveInline = false;
+        if (const std::size_t eq = a.find('=');
+            a.size() > 2 && a[0] == '-' && eq != std::string::npos) {
+            inlineValue = a.substr(eq + 1);
+            a.resize(eq);
+            haveInline = true;
+        }
         auto next = [&]() -> const char * {
+            if (haveInline)
+                return inlineValue.c_str();
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -124,6 +152,10 @@ parse(int argc, char **argv)
             opt.replay = true;
         } else if (a == "--trace") {
             opt.tracePath = next();
+        } else if (a == "--manifest") {
+            opt.manifestPath = next();
+        } else if (a == "--save-trace") {
+            opt.accessTracePath = next();
         } else if (a == "--save-log") {
             opt.logPath = next();
         } else if (a == "--lint") {
@@ -137,6 +169,16 @@ parse(int argc, char **argv)
         }
     }
     return opt;
+}
+
+std::size_t
+traceCapacity()
+{
+    const char *v = std::getenv("CORD_TRACE_CAPACITY");
+    if (!v || !*v)
+        return EventTracer::kDefaultCapacity;
+    const std::size_t n = std::strtoull(v, nullptr, 10);
+    return n ? n : EventTracer::kDefaultCapacity;
 }
 
 } // namespace
@@ -179,10 +221,25 @@ main(int argc, char **argv)
     IdealDetector ideal(opt.threads);
     TraceRecorder trace;
     setup.detectors = {&cord, &vcd, &ideal};
-    if (!opt.tracePath.empty() || opt.lint)
+    if (!opt.accessTracePath.empty() || opt.lint)
         setup.detectors.push_back(&trace);
 
-    const RunOutcome out = runWorkload(setup);
+    std::unique_ptr<EventTracer> tracer;
+    if (!opt.tracePath.empty())
+        tracer = std::make_unique<EventTracer>(traceCapacity());
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    RunOutcome out;
+    {
+        std::optional<TracerScope> scope;
+        if (tracer)
+            scope.emplace(*tracer);
+        out = runWorkload(setup);
+    }
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
 
     std::printf("workload      : %s (scale %u, %u threads on %u "
                 "cores, seed %llu)\n",
@@ -234,10 +291,18 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     cord.stats().get("cord.memTsUpdates")));
 
-    if (!opt.tracePath.empty() && out.completed) {
-        saveTrace(trace, opt.tracePath);
-        std::printf("trace         : %zu events -> %s\n",
-                    trace.events().size(), opt.tracePath.c_str());
+    if (tracer) {
+        saveChromeTrace(*tracer, opt.tracePath);
+        std::printf("trace         : %llu events (%llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(tracer->total()),
+                    static_cast<unsigned long long>(tracer->dropped()),
+                    opt.tracePath.c_str());
+    }
+
+    if (!opt.accessTracePath.empty() && out.completed) {
+        saveTrace(trace, opt.accessTracePath);
+        std::printf("access trace  : %zu events -> %s\n",
+                    trace.events().size(), opt.accessTracePath.c_str());
     }
 
     if (!opt.logPath.empty() && out.completed) {
@@ -246,6 +311,8 @@ main(int argc, char **argv)
                     cord.orderLog().wireBytes(), opt.logPath.c_str());
     }
 
+    std::string lintVerdict = "skipped";
+    int lintExit = 0;
     if (opt.lint && out.completed) {
         const std::vector<std::uint8_t> wire =
             encodeOrderLog(cord.orderLog());
@@ -262,9 +329,54 @@ main(int argc, char **argv)
         const LintReport lint = runLint(lin);
         std::printf("---- cordlint ----\n%s",
                     lint.renderText().c_str());
+        lintVerdict = lint.errors() > 0 ? "findings" : "clean";
         if (lint.errors() > 0)
-            return 1;
+            lintExit = 1;
     }
+
+    if (!opt.manifestPath.empty()) {
+        RunManifest m;
+        m.tool = "cordsim";
+        m.workload = opt.workload;
+        m.seed = opt.seed;
+        m.setConfig("scale", std::uint64_t(opt.scale));
+        m.setConfig("threads", std::uint64_t(opt.threads));
+        m.setConfig("cores", std::uint64_t(opt.cores));
+        m.setConfig("d", std::uint64_t(opt.d));
+        m.setConfig("coherence",
+                    opt.directory ? "directory" : "snooping");
+        m.setConfig("migrationPeriodInstrs", opt.migrate);
+        m.setConfig("knownRaces", opt.knownRaces ? "1" : "0");
+        if (opt.haveInjection)
+            m.setConfig("inject",
+                        std::to_string(opt.pick.tid) + ":" +
+                            std::to_string(opt.pick.seqInThread));
+        m.completed = out.completed;
+        m.simTicks = out.ticks;
+        m.lintVerdict = lintVerdict;
+        m.wallSeconds = wallSeconds;
+        m.stampTime();
+        m.metrics.add("", out.stats);
+        m.metrics.add("detector.cord", cord.stats());
+        m.metrics.add("detector.vc", vcd.stats());
+        m.metrics.add("detector.ideal", ideal.stats());
+        StatRegistry races;
+        races.set("races.cord", cord.races().pairs());
+        races.set("races.vc", vcd.races().pairs());
+        races.set("races.ideal", ideal.races().pairs());
+        m.metrics.add("", races);
+        if (tracer) {
+            StatRegistry ts;
+            ts.set("trace.totalEvents", tracer->total());
+            ts.set("trace.droppedEvents", tracer->dropped());
+            m.metrics.add("", ts);
+        }
+        m.save(opt.manifestPath);
+        std::printf("manifest      : %s\n", opt.manifestPath.c_str());
+    }
+
+    if (lintExit != 0)
+        return lintExit;
 
     if (opt.replay && out.completed) {
         RemoveOneInstance filter2(opt.pick);

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * cordstat -- inspect the observability artifacts cordsim produces.
+ *
+ * Subcommands:
+ *   show M.json...          pretty-print one or more run manifests
+ *   diff A.json B.json      compare two manifests' metrics; exit 1 when
+ *                           they differ (--tol PCT allows a relative
+ *                           tolerance, e.g. --tol 5)
+ *   agg M.json...           aggregate metrics across manifests (count /
+ *                           total / mean per metric)
+ *   check-trace T.json      validate a Chrome-trace file produced by
+ *                           `cordsim --trace`; exit 1 on schema errors
+ *
+ * Exit codes: 0 ok / no differences, 1 differences or invalid trace,
+ * 2 usage or I/O error.  Schemas: docs/OBSERVABILITY.md.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+using namespace cord;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: cordstat show M.json...\n"
+                 "       cordstat diff [--tol PCT] A.json B.json\n"
+                 "       cordstat agg M.json...\n"
+                 "       cordstat check-trace T.json\n");
+    std::exit(2);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        std::fprintf(stderr, "cordstat: cannot open %s\n", path.c_str());
+        return false;
+    }
+    char buf[65536];
+    std::size_t n;
+    out.clear();
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+/** Parse @p path as JSON; exits with code 2 on failure. */
+JsonValue
+loadJson(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text))
+        std::exit(2);
+    std::string err;
+    auto v = JsonValue::parse(text, &err);
+    if (!v) {
+        std::fprintf(stderr, "cordstat: %s: %s\n", path.c_str(),
+                     err.c_str());
+        std::exit(2);
+    }
+    return std::move(*v);
+}
+
+/** Parse a manifest and sanity-check its schema tag. */
+JsonValue
+loadManifest(const std::string &path)
+{
+    JsonValue m = loadJson(path);
+    if (!m.isObject() || m.str("schema") != kManifestSchema) {
+        std::fprintf(stderr,
+                     "cordstat: %s: not a %s document\n", path.c_str(),
+                     kManifestSchema);
+        std::exit(2);
+    }
+    return m;
+}
+
+std::map<std::string, double>
+manifestMetrics(const JsonValue &m)
+{
+    if (const JsonValue *metrics = m.find("metrics"))
+        return flattenMetricsJson(*metrics);
+    return {};
+}
+
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    if (std::nearbyint(v) == v && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+int
+cmdShow(const std::vector<std::string> &paths)
+{
+    bool first = true;
+    for (const std::string &path : paths) {
+        const JsonValue m = loadManifest(path);
+        if (!first)
+            std::printf("\n");
+        first = false;
+        std::printf("== %s ==\n", path.c_str());
+        std::printf("tool      : %s\n", m.str("tool").c_str());
+        if (const JsonValue *w = m.find("workload"))
+            std::printf("workload  : %s\n", w->asString().c_str());
+        std::printf("seed      : %s\n", fmtNum(m.num("seed")).c_str());
+        std::printf("build     : %s (%s)\n", m.str("git").c_str(),
+                    m.str("build").c_str());
+        if (const JsonValue *t = m.find("timestamp"))
+            std::printf("time      : %s (%.3f s wall)\n",
+                        t->asString().c_str(), m.num("wallSeconds"));
+        const JsonValue *completed = m.find("completed");
+        std::printf("completed : %s\n",
+                    (completed && completed->asBool()) ? "yes" : "NO");
+        std::printf("simTicks  : %s\n",
+                    fmtNum(m.num("simTicks")).c_str());
+        std::printf("lint      : %s\n", m.str("lint").c_str());
+        if (const JsonValue *cfg = m.find("config")) {
+            std::printf("config    :");
+            for (std::size_t i = 0; i < cfg->size(); ++i)
+                std::printf(" %s=%s", cfg->keys()[i].c_str(),
+                            cfg->items()[i].isString()
+                                ? cfg->items()[i].asString().c_str()
+                                : fmtNum(cfg->items()[i].asNumber())
+                                      .c_str());
+            std::printf("\n");
+        }
+        std::printf("metrics   :\n");
+        for (const auto &[name, v] : manifestMetrics(m))
+            std::printf("  %-44s %s\n", name.c_str(),
+                        fmtNum(v).c_str());
+        if (const JsonValue *tables = m.find("tables")) {
+            for (const JsonValue &t : tables->items())
+                std::printf("table     : %s (%zu rows)\n",
+                            t.str("title").c_str(),
+                            t.find("rows") ? t.find("rows")->size() : 0);
+        }
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &paths, double tolPct)
+{
+    if (paths.size() != 2)
+        usage();
+    const JsonValue a = loadManifest(paths[0]);
+    const JsonValue b = loadManifest(paths[1]);
+    const auto ma = manifestMetrics(a);
+    const auto mb = manifestMetrics(b);
+
+    std::set<std::string> names;
+    for (const auto &[k, v] : ma)
+        names.insert(k);
+    for (const auto &[k, v] : mb)
+        names.insert(k);
+
+    unsigned diffs = 0;
+    std::printf("%-44s %16s %16s %12s\n", "metric", "a", "b", "delta");
+    for (const std::string &name : names) {
+        const auto ia = ma.find(name);
+        const auto ib = mb.find(name);
+        if (ia == ma.end() || ib == mb.end()) {
+            ++diffs;
+            std::printf("%-44s %16s %16s %12s\n", name.c_str(),
+                        ia == ma.end() ? "-" : fmtNum(ia->second).c_str(),
+                        ib == mb.end() ? "-" : fmtNum(ib->second).c_str(),
+                        "only-one");
+            continue;
+        }
+        const double va = ia->second, vb = ib->second;
+        if (va == vb)
+            continue;
+        const double base = std::max(std::fabs(va), std::fabs(vb));
+        const double relPct = base > 0 ? 100.0 * std::fabs(vb - va) / base
+                                       : 0.0;
+        if (relPct <= tolPct)
+            continue;
+        ++diffs;
+        std::printf("%-44s %16s %16s %12s\n", name.c_str(),
+                    fmtNum(va).c_str(), fmtNum(vb).c_str(),
+                    fmtNum(vb - va).c_str());
+    }
+    if (diffs == 0) {
+        std::printf("identical metrics (%zu compared, tol %.3g%%)\n",
+                    names.size(), tolPct);
+        return 0;
+    }
+    std::printf("%u metric(s) differ\n", diffs);
+    return 1;
+}
+
+int
+cmdAgg(const std::vector<std::string> &paths)
+{
+    std::map<std::string, std::pair<unsigned, double>> acc; // n, total
+    for (const std::string &path : paths) {
+        const JsonValue m = loadManifest(path);
+        for (const auto &[name, v] : manifestMetrics(m)) {
+            auto &[n, total] = acc[name];
+            ++n;
+            total += v;
+        }
+    }
+    std::printf("%-44s %5s %16s %16s\n", "metric", "n", "total", "mean");
+    for (const auto &[name, nt] : acc)
+        std::printf("%-44s %5u %16s %16s\n", name.c_str(), nt.first,
+                    fmtNum(nt.second).c_str(),
+                    fmtNum(nt.second / nt.first).c_str());
+    return 0;
+}
+
+int
+cmdCheckTrace(const std::string &path)
+{
+    const JsonValue t = loadJson(path);
+    unsigned errors = 0;
+    auto fail = [&](const char *what) {
+        ++errors;
+        std::fprintf(stderr, "check-trace: %s\n", what);
+    };
+
+    if (!t.isObject()) {
+        fail("root is not an object");
+        return 1;
+    }
+    const JsonValue *section = t.find("cordTrace");
+    if (!section || !section->isObject())
+        fail("missing cordTrace section");
+    else if (section->str("schema") != "cord-trace-v1")
+        fail("cordTrace.schema is not cord-trace-v1");
+
+    const JsonValue *events = t.find("traceEvents");
+    if (!events || !events->isArray()) {
+        fail("missing traceEvents array");
+        return 1;
+    }
+
+    std::uint64_t instants = 0, metadata = 0;
+    std::map<std::pair<double, double>, double> lastTs; // (pid,tid)->ts
+    for (const JsonValue &ev : events->items()) {
+        if (!ev.isObject()) {
+            fail("traceEvents element is not an object");
+            break;
+        }
+        const std::string ph = ev.str("ph");
+        if (ph == "M") {
+            ++metadata;
+            continue;
+        }
+        if (ph != "i") {
+            fail("unexpected event phase (want \"i\" or \"M\")");
+            break;
+        }
+        ++instants;
+        if (!ev.find("name") || !ev.find("ts") || !ev.find("pid") ||
+            !ev.find("tid")) {
+            fail("instant event missing name/ts/pid/tid");
+            break;
+        }
+        // Timestamps must be non-decreasing within a (pid, tid) track:
+        // the ring buffer preserves emission order and simulated time
+        // never goes backwards.
+        const auto track =
+            std::make_pair(ev.num("pid"), ev.num("tid"));
+        const double ts = ev.num("ts");
+        auto it = lastTs.find(track);
+        if (it != lastTs.end() && ts < it->second)
+            fail("timestamps regress within a track");
+        lastTs[track] = ts;
+    }
+
+    if (section && section->isObject()) {
+        const double total = section->num("totalEvents");
+        const double dropped = section->num("droppedEvents");
+        if (static_cast<double>(instants) + dropped != total)
+            fail("event count mismatch: "
+                 "len(traceEvents) + dropped != totalEvents");
+    }
+
+    std::printf("%s: %llu events (%llu metadata) on %zu tracks -- %s\n",
+                path.c_str(),
+                static_cast<unsigned long long>(instants),
+                static_cast<unsigned long long>(metadata), lastTs.size(),
+                errors == 0 ? "OK" : "INVALID");
+    return errors == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    const std::string cmd = argv[1];
+
+    double tolPct = 0.0;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc)
+            tolPct = std::atof(argv[++i]);
+        else
+            paths.push_back(argv[i]);
+    }
+    if (paths.empty())
+        usage();
+
+    if (cmd == "show")
+        return cmdShow(paths);
+    if (cmd == "diff")
+        return cmdDiff(paths, tolPct);
+    if (cmd == "agg")
+        return cmdAgg(paths);
+    if (cmd == "check-trace" && paths.size() == 1)
+        return cmdCheckTrace(paths[0]);
+    usage();
+}
