@@ -15,8 +15,9 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- ablation of CORD design choices\n");
 
     CordConfig base; // D = 16, 2 entries/line, filters, memTs on

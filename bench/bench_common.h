@@ -1,14 +1,24 @@
 /**
  * @file
  * Shared plumbing for the figure/table reproduction binaries: the
- * application list, environment-variable overrides, and campaign
- * helpers.
+ * application list, command-line flags, environment-variable
+ * overrides, and campaign helpers.
+ *
+ * Command-line flags (parseArgs; all binaries accept them):
+ *   --jobs N         run campaign injections (and per-app perf points)
+ *                    on N worker threads (harness/exec.h); 0 = one per
+ *                    hardware thread.  Results are bit-identical for
+ *                    every N given the same seed.
+ *   --manifest FILE  write a deterministic cord-manifest-v1 document
+ *                    with every campaign's metrics (cordstat-readable)
+ *   --json           print result tables as JSON (where supported)
  *
  * Environment knobs (all optional):
  *   CORD_SCALE       workload input scale      (default 2)
  *   CORD_INJECTIONS  injections per app        (default 30)
  *   CORD_SEED        campaign base seed        (default 1)
  *   CORD_APPS        comma-separated app list  (default: all 12)
+ *   CORD_JOBS        default for --jobs        (default 1)
  *   CORD_LINT        when set and nonzero, run the cordlint checks
  *                    (docs/ANALYSIS.md) on every experiment run's
  *                    artifacts and abort on any finding
@@ -29,8 +39,10 @@
 
 #include "analysis/lint.h"
 #include "cord/log_codec.h"
+#include "harness/exec.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
+#include "obs/manifest.h"
 #include "sim/logging.h"
 #include "workloads/workload.h"
 
@@ -46,6 +58,63 @@ envUnsigned(const char *name, unsigned dflt)
     if (!v || !*v)
         return dflt;
     return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+/** Options every bench binary accepts (see the file comment). */
+struct BenchArgs
+{
+    std::string tool = "bench";  //!< basename of argv[0]
+    unsigned jobs = 1;           //!< campaign/perf worker threads
+    std::string manifestPath;    //!< "" = no manifest
+    bool json = false;           //!< machine-readable tables
+};
+
+/** The parsed flags (parseArgs fills them; defaults before that). */
+inline BenchArgs &
+args()
+{
+    static BenchArgs a;
+    return a;
+}
+
+/**
+ * Parse the shared bench flags.  Call first thing in main; exits with
+ * usage on unknown arguments.  --jobs defaults to CORD_JOBS (else 1).
+ */
+inline void
+parseArgs(int argc, char **argv)
+{
+    BenchArgs &a = args();
+    if (argc > 0) {
+        const char *slash = std::strrchr(argv[0], '/');
+        a.tool = slash ? slash + 1 : argv[0];
+    }
+    a.jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             a.tool.c_str(), arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            a.jobs = resolveJobs(
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10)));
+        } else if (arg == "--manifest") {
+            a.manifestPath = value();
+        } else if (arg == "--json") {
+            a.json = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--manifest FILE]"
+                         " [--json]\n",
+                         a.tool.c_str());
+            std::exit(2);
+        }
+    }
 }
 
 inline std::vector<std::string>
@@ -121,11 +190,41 @@ campaignFor(const std::string &app)
     cfg.params.seed = envUnsigned("CORD_SEED", 1) * 7 + 5;
     cfg.injections = envUnsigned("CORD_INJECTIONS", 30);
     cfg.seed = envUnsigned("CORD_SEED", 1) * 101 + 13;
+    cfg.jobs = args().jobs;
     attachLintObserver(cfg);
     return cfg;
 }
 
-/** Run the same campaign for every app; returns per-app results. */
+/**
+ * Write the per-app campaign metrics to --manifest (no-op without the
+ * flag).  The manifest is saved without volatile fields and without
+ * recording the job count, so reruns -- sequential or parallel -- of
+ * the same seed produce byte-identical documents.
+ */
+inline void
+writeCampaignManifest(
+    const std::vector<std::pair<std::string, CampaignResult>> &results)
+{
+    if (args().manifestPath.empty())
+        return;
+    RunManifest m;
+    m.tool = args().tool;
+    m.seed = envUnsigned("CORD_SEED", 1);
+    m.setConfig("scale", std::uint64_t(envUnsigned("CORD_SCALE", 2)));
+    m.setConfig("injections",
+                std::uint64_t(envUnsigned("CORD_INJECTIONS", 30)));
+    m.setConfig("threads", std::uint64_t(4));
+    for (const auto &[app, r] : results)
+        addCampaignMetrics(m, app, r);
+    m.save(args().manifestPath, /*includeVolatile=*/false);
+    std::fprintf(stderr, "  [manifest] %s\n",
+                 args().manifestPath.c_str());
+}
+
+/** Run the same campaign for every app; returns per-app results.
+ *  Injection runs within each campaign are spread over --jobs worker
+ *  threads; apps stay sequential so progress streams and the worker
+ *  count is not oversubscribed. */
 inline std::vector<std::pair<std::string, CampaignResult>>
 runAllCampaigns(const std::vector<DetectorSpec> &specs)
 {
@@ -134,6 +233,7 @@ runAllCampaigns(const std::vector<DetectorSpec> &specs)
         std::fprintf(stderr, "  [campaign] %s...\n", app.c_str());
         out.emplace_back(app, runCampaign(campaignFor(app), specs));
     }
+    writeCampaignManifest(out);
     return out;
 }
 

@@ -16,39 +16,48 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- extension: directory coherence\n");
     TextTable t({"App", "Snoop base", "Snoop CORD", "Snoop rel",
                  "Dir base", "Dir CORD", "Dir rel"});
     double snoopSum = 0.0;
     double dirSum = 0.0;
     const auto apps = bench::appList();
-    for (const std::string &app : apps) {
-        std::fprintf(stderr, "  [directory] %s...\n", app.c_str());
-        WorkloadParams params;
-        params.numThreads = 4;
-        params.scale = bench::envUnsigned("CORD_SCALE", 2);
-        params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
-        CordConfig cord;
+    parallelForOrdered(
+        apps.size(), bench::args().jobs,
+        [&](std::size_t i) {
+            const std::string &app = apps[i];
+            std::fprintf(stderr, "  [directory] %s...\n", app.c_str());
+            WorkloadParams params;
+            params.numThreads = 4;
+            params.scale = bench::envUnsigned("CORD_SCALE", 2);
+            params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
+            CordConfig cord;
 
-        MachineConfig snoop;
-        snoop.computeScale =
-            bench::envUnsigned("CORD_COMPUTE_SCALE", 256);
-        MachineConfig dir = snoop;
-        dir.coherence = CoherenceKind::Directory;
+            MachineConfig snoop;
+            snoop.computeScale =
+                bench::envUnsigned("CORD_COMPUTE_SCALE", 256);
+            MachineConfig dir = snoop;
+            dir.coherence = CoherenceKind::Directory;
 
-        const PerfPoint ps = runPerf(app, params, snoop, cord);
-        const PerfPoint pd = runPerf(app, params, dir, cord);
-        snoopSum += ps.relative();
-        dirSum += pd.relative();
-        t.addRow({app, std::to_string(ps.baselineTicks),
-                  std::to_string(ps.cordTicks),
-                  TextTable::percent(ps.relative(), 2),
-                  std::to_string(pd.baselineTicks),
-                  std::to_string(pd.cordTicks),
-                  TextTable::percent(pd.relative(), 2)});
-    }
+            return std::make_pair(runPerf(app, params, snoop, cord),
+                                  runPerf(app, params, dir, cord));
+        },
+        [&](std::size_t i, std::pair<PerfPoint, PerfPoint> &&pp) {
+            const std::string &app = apps[i];
+            const PerfPoint &ps = pp.first;
+            const PerfPoint &pd = pp.second;
+            snoopSum += ps.relative();
+            dirSum += pd.relative();
+            t.addRow({app, std::to_string(ps.baselineTicks),
+                      std::to_string(ps.cordTicks),
+                      TextTable::percent(ps.relative(), 2),
+                      std::to_string(pd.baselineTicks),
+                      std::to_string(pd.cordTicks),
+                      TextTable::percent(pd.relative(), 2)});
+        });
     t.addRow({"Average", "", "",
               TextTable::percent(snoopSum / apps.size(), 2), "", "",
               TextTable::percent(dirSum / apps.size(), 2)});

@@ -17,8 +17,9 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- Figure 10\n");
     // Only the Ideal detector (built into the campaign) is needed.
     const auto results = bench::runAllCampaigns({});

@@ -16,8 +16,9 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- Figure 11\n");
     TextTable t({"App", "Baseline(cyc)", "CORD(cyc)", "Relative",
                  "RaceChecks", "MemTsUpd"});
@@ -25,28 +26,36 @@ main()
     double worst = 0.0;
     std::string worstApp;
     const auto apps = bench::appList();
-    for (const std::string &app : apps) {
-        std::fprintf(stderr, "  [perf] %s...\n", app.c_str());
-        WorkloadParams params;
-        params.numThreads = 4;
-        params.scale = bench::envUnsigned("CORD_SCALE", 2);
-        params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
-        MachineConfig machine;
-        machine.computeScale =
-            bench::envUnsigned("CORD_COMPUTE_SCALE", 256);
-        CordConfig cord;
-        const PerfPoint p = runPerf(app, params, machine, cord);
-        t.addRow({app, std::to_string(p.baselineTicks),
-                  std::to_string(p.cordTicks),
-                  TextTable::percent(p.relative(), 2),
-                  std::to_string(p.raceCheckTraffic),
-                  std::to_string(p.memTsTraffic)});
-        sum += p.relative();
-        if (p.relative() > worst) {
-            worst = p.relative();
-            worstApp = app;
-        }
-    }
+    // The perf points are independent of each other (no shared census),
+    // so fan the apps out across workers; rows merge in app order.
+    parallelForOrdered(
+        apps.size(), bench::args().jobs,
+        [&](std::size_t i) {
+            const std::string &app = apps[i];
+            std::fprintf(stderr, "  [perf] %s...\n", app.c_str());
+            WorkloadParams params;
+            params.numThreads = 4;
+            params.scale = bench::envUnsigned("CORD_SCALE", 2);
+            params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
+            MachineConfig machine;
+            machine.computeScale =
+                bench::envUnsigned("CORD_COMPUTE_SCALE", 256);
+            CordConfig cord;
+            return runPerf(app, params, machine, cord);
+        },
+        [&](std::size_t i, PerfPoint &&p) {
+            const std::string &app = apps[i];
+            t.addRow({app, std::to_string(p.baselineTicks),
+                      std::to_string(p.cordTicks),
+                      TextTable::percent(p.relative(), 2),
+                      std::to_string(p.raceCheckTraffic),
+                      std::to_string(p.memTsTraffic)});
+            sum += p.relative();
+            if (p.relative() > worst) {
+                worst = p.relative();
+                worstApp = app;
+            }
+        });
     t.addRow({"Average", "", "",
               TextTable::percent(sum / apps.size(), 2), "", ""});
     t.print("Figure 11: execution time with CORD relative to baseline");

@@ -16,8 +16,9 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- Figure 13\n");
     const auto results =
         bench::runAllCampaigns({cordSpec(16, "CORD"), vcL2CacheSpec()});

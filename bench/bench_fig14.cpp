@@ -17,8 +17,9 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- Figure 14\n");
     const auto results = bench::runAllCampaigns(
         {vcInfCacheSpec(), vcL2CacheSpec(), vcL1CacheSpec()});

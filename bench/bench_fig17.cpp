@@ -15,8 +15,9 @@
 using namespace cord;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- Figure 17\n");
     const auto results = bench::runAllCampaigns(
         {cordSpec(1), cordSpec(4), cordSpec(16), cordSpec(256),

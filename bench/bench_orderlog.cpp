@@ -60,59 +60,78 @@ replayMatches(const std::string &app, const WorkloadParams &params,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- Section 3.3 (order log + replay)\n");
     TextTable t({"App", "LogEntries", "LogBytes", "B/kInstr",
                  "CleanReplay", "InjectedReplay"});
     bool allOk = true;
-    for (const std::string &app : bench::appList()) {
-        std::fprintf(stderr, "  [orderlog] %s...\n", app.c_str());
-        WorkloadParams params;
-        params.numThreads = 4;
-        params.scale = bench::envUnsigned("CORD_SCALE", 2);
-        params.seed = bench::envUnsigned("CORD_SEED", 1) * 3 + 11;
+    const auto apps = bench::appList();
+    struct AppRow
+    {
+        std::vector<std::string> cells;
+        bool ok = true;
+    };
+    parallelForOrdered(
+        apps.size(), bench::args().jobs,
+        [&](std::size_t idx) {
+            const std::string &app = apps[idx];
+            std::fprintf(stderr, "  [orderlog] %s...\n", app.c_str());
+            WorkloadParams params;
+            params.numThreads = 4;
+            params.scale = bench::envUnsigned("CORD_SCALE", 2);
+            params.seed = bench::envUnsigned("CORD_SEED", 1) * 3 + 11;
 
-        // Clean recording + replay.
-        CordConfig cc;
-        CordDetector recorder(cc);
-        RunSetup rec;
-        rec.workload = app;
-        rec.params = params;
-        rec.detectors = {&recorder};
-        const RunOutcome recOut = runWorkload(rec);
-        std::uint64_t instrs = 0;
-        for (auto i : recOut.instrs)
-            instrs += i;
-        const bool cleanOk = replayMatches(app, params,
-                                           recorder.orderLog(), recOut,
-                                           nullptr);
+            // Clean recording + replay.
+            CordConfig cc;
+            CordDetector recorder(cc);
+            RunSetup rec;
+            rec.workload = app;
+            rec.params = params;
+            rec.detectors = {&recorder};
+            const RunOutcome recOut = runWorkload(rec);
+            std::uint64_t instrs = 0;
+            for (auto i : recOut.instrs)
+                instrs += i;
+            const bool cleanOk = replayMatches(app, params,
+                                               recorder.orderLog(),
+                                               recOut, nullptr);
 
-        // Injected recording + replay (removal of one sync instance).
-        RemoveOneInstance filter({1, 2});
-        CordDetector recorder2(cc);
-        RunSetup rec2;
-        rec2.workload = app;
-        rec2.params = params;
-        rec2.filter = &filter;
-        rec2.detectors = {&recorder2};
-        rec2.maxTicks = recOut.ticks * 25 + 1000000;
-        const RunOutcome recOut2 = runWorkload(rec2);
-        bool injOk = true;
-        if (recOut2.completed) {
-            RemoveOneInstance filter2({1, 2});
-            injOk = replayMatches(app, params, recorder2.orderLog(),
-                                  recOut2, &filter2);
-        }
+            // Injected recording + replay (removal of one sync
+            // instance).
+            RemoveOneInstance filter({1, 2});
+            CordDetector recorder2(cc);
+            RunSetup rec2;
+            rec2.workload = app;
+            rec2.params = params;
+            rec2.filter = &filter;
+            rec2.detectors = {&recorder2};
+            rec2.maxTicks = recOut.ticks * 25 + 1000000;
+            const RunOutcome recOut2 = runWorkload(rec2);
+            bool injOk = true;
+            if (recOut2.completed) {
+                RemoveOneInstance filter2({1, 2});
+                injOk = replayMatches(app, params, recorder2.orderLog(),
+                                      recOut2, &filter2);
+            }
 
-        allOk = allOk && cleanOk && injOk;
-        t.addRow({app, std::to_string(recorder.orderLog().size()),
-                  std::to_string(recorder.orderLog().wireBytes()),
-                  TextTable::num(recorder.orderLog().wireBytes() *
-                                     1000.0 / (instrs ? instrs : 1),
-                                 1),
-                  cleanOk ? "OK" : "FAIL", injOk ? "OK" : "FAIL"});
-    }
+            AppRow row;
+            row.ok = cleanOk && injOk;
+            row.cells = {app, std::to_string(recorder.orderLog().size()),
+                         std::to_string(recorder.orderLog().wireBytes()),
+                         TextTable::num(recorder.orderLog().wireBytes() *
+                                            1000.0 /
+                                            (instrs ? instrs : 1),
+                                        1),
+                         cleanOk ? "OK" : "FAIL",
+                         injOk ? "OK" : "FAIL"};
+            return row;
+        },
+        [&](std::size_t, AppRow &&row) {
+            allOk = allOk && row.ok;
+            t.addRow(row.cells);
+        });
     t.print("Order log size and deterministic replay "
             "(paper: <1MB per run, fully accurate replay)");
     std::printf("%s\n", allOk ? "All replays verified."

@@ -28,8 +28,9 @@ sensitivityApps()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("CORD reproduction -- sensitivity sweeps (extension)\n");
 
     // Sweep 1: residency capacity at fixed D = 16.

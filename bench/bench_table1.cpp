@@ -25,9 +25,8 @@ using namespace cord;
 int
 main(int argc, char **argv)
 {
-    bool json = false;
-    for (int i = 1; i < argc; ++i)
-        json = json || std::strcmp(argv[i], "--json") == 0;
+    bench::parseArgs(argc, argv);
+    const bool json = bench::args().json;
 
     if (!json)
         std::printf(
@@ -43,24 +42,30 @@ main(int argc, char **argv)
 
     TextTable t({"App", "Paper input", "Our input (analog)",
                  "Sync idiom", "Footprint", "Accesses", "SyncInst"});
-    for (const std::string &app : bench::appList()) {
-        auto w = makeWorkload(app);
-        RunSetup setup;
-        setup.workload = app;
-        setup.params.numThreads = 4;
-        setup.params.scale = bench::envUnsigned("CORD_SCALE", 2);
-        setup.params.seed = 7;
-        const RunOutcome out = runWorkload(setup);
-        char foot[32];
-        std::snprintf(foot, sizeof(foot), "%.1fKB",
-                      out.footprintWords * 4.0 / 1024.0);
-        t.addRow({app, w->meta().paperInput, w->meta().ourInput,
-                  w->meta().syncIdiom, foot,
-                  std::to_string(out.accesses),
-                  std::to_string(out.totalInstances())});
-        manifest.metrics.add(app, out.stats);
-        manifest.simTicks += out.ticks;
-    }
+    const auto apps = bench::appList();
+    parallelForOrdered(
+        apps.size(), bench::args().jobs,
+        [&](std::size_t i) {
+            RunSetup setup;
+            setup.workload = apps[i];
+            setup.params.numThreads = 4;
+            setup.params.scale = bench::envUnsigned("CORD_SCALE", 2);
+            setup.params.seed = 7;
+            return runWorkload(setup);
+        },
+        [&](std::size_t i, RunOutcome &&out) {
+            const std::string &app = apps[i];
+            auto w = makeWorkload(app);
+            char foot[32];
+            std::snprintf(foot, sizeof(foot), "%.1fKB",
+                          out.footprintWords * 4.0 / 1024.0);
+            t.addRow({app, w->meta().paperInput, w->meta().ourInput,
+                      w->meta().syncIdiom, foot,
+                      std::to_string(out.accesses),
+                      std::to_string(out.totalInstances())});
+            manifest.metrics.add(app, out.stats);
+            manifest.simTicks += out.ticks;
+        });
 
     const std::string title =
         "Table 1: applications evaluated and their input sets";

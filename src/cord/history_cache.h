@@ -28,6 +28,17 @@ namespace cord
 /**
  * Per-core history storage for one detector.
  *
+ * Reference stability: in infinite mode the backing store is a
+ * node-based std::unordered_map, so a StateT reference stays valid (and
+ * keeps naming the same line) across later inserts and rehashes.  In
+ * finite mode references point into the fixed tag array and are never
+ * dangling, but the *slot* is recycled on eviction: any reference
+ * obtained before a later getOrInsert may silently alias a different
+ * line afterwards.  Callers must therefore not hold a returned
+ * reference across a subsequent getOrInsert/invalidate on the same
+ * cache (the no-hold-across-insert contract; regression-tested with
+ * ASan in tests/history_cache_test.cpp).
+ *
  * @tparam StateT per-line detector state
  */
 template <typename StateT>
@@ -65,6 +76,11 @@ class HistoryCache
      * Look up or allocate the line's state, updating recency.  When a
      * finite set overflows, the LRU victim's state is passed to
      * @p onEvict before being discarded.
+     *
+     * The returned reference is invalidated -- in the aliasing sense
+     * described on the class -- by the next getOrInsert or invalidate
+     * call in finite mode; do not hold it across either.  Infinite
+     * mode guarantees full pointer stability.
      */
     StateT &
     getOrInsert(Addr a, const EvictFn &onEvict)

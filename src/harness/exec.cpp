@@ -1,0 +1,124 @@
+#include "harness/exec.h"
+
+#include <cstdlib>
+
+namespace cord
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+defaultJobs()
+{
+    const char *v = std::getenv("CORD_JOBS");
+    if (!v || !*v)
+        return 1;
+    return resolveJobs(
+        static_cast<unsigned>(std::strtoul(v, nullptr, 10)));
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    // splitmix64 over the (seed, index) pair.
+    std::uint64_t z = seed + index * 0x9e3779b97f4a7c15ULL +
+                      0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    threads_.reserve(workers ? workers : 1);
+    for (unsigned w = 0; w < (workers ? workers : 1); ++w)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerMain()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    jobs = resolveJobs(jobs);
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMu;
+    std::exception_ptr firstError;
+    {
+        ThreadPool pool(
+            static_cast<unsigned>(std::min<std::size_t>(jobs, n)));
+        for (unsigned w = 0; w < pool.workers(); ++w) {
+            pool.submit([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        return;
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lk(errMu);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                }
+            });
+        }
+    } // joins
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace cord

@@ -1,7 +1,11 @@
 #include "harness/experiments.h"
 
+#include <memory>
+
 #include "cord/ideal_detector.h"
+#include "harness/exec.h"
 #include "inject/injector.h"
+#include "obs/manifest.h"
 #include "sim/logging.h"
 #include "sim/rng.h"
 
@@ -98,17 +102,36 @@ runCampaign(const CampaignConfig &cfg,
     Rng rng(cfg.seed * 2654435761ULL + 1);
     res.injections = cfg.injections;
 
-    for (unsigned i = 0; i < cfg.injections; ++i) {
-        const InjectionPick pick =
-            pickUniformInstance(censusOut.syncCensus, rng);
-        RemoveOneInstance filter(pick);
+    // Draw every injection pick up front from the campaign RNG, so the
+    // pick sequence is a pure function of the seed and never depends on
+    // how the runs are later scheduled across workers.
+    std::vector<InjectionPick> picks;
+    picks.reserve(cfg.injections);
+    for (unsigned i = 0; i < cfg.injections; ++i)
+        picks.push_back(pickUniformInstance(censusOut.syncCensus, rng));
 
-        IdealDetector ideal(cfg.params.numThreads);
+    // Everything one injection run produces.  Runs are hermetic: each
+    // worker builds its own detectors and trace, touches no state
+    // shared with other runs, and hands the artifacts back to the
+    // caller thread for in-order aggregation.
+    struct RunArtifacts
+    {
+        RunOutcome out;
+        std::unique_ptr<IdealDetector> ideal;
         std::vector<std::unique_ptr<Detector>> dets;
+        std::unique_ptr<TraceRecorder> trace;
+    };
+
+    auto runOne = [&](std::size_t i) {
+        RunArtifacts art;
+        RemoveOneInstance filter(picks[i]);
+        art.ideal =
+            std::make_unique<IdealDetector>(cfg.params.numThreads);
         for (const DetectorSpec &s : specs)
-            dets.push_back(s.make(cfg.machine.numCores,
-                                  cfg.params.numThreads));
-        TraceRecorder trace;
+            art.dets.push_back(
+                s.make(cfg.machine.numCores, cfg.params.numThreads));
+        if (cfg.recordTrace)
+            art.trace = std::make_unique<TraceRecorder>();
 
         RunSetup setup;
         setup.workload = cfg.workload;
@@ -116,33 +139,73 @@ runCampaign(const CampaignConfig &cfg,
         setup.machine = cfg.machine;
         setup.filter = &filter;
         setup.maxTicks = watchdog;
-        setup.detectors.push_back(&ideal);
-        for (auto &d : dets)
+        setup.detectors.push_back(art.ideal.get());
+        for (auto &d : art.dets)
             setup.detectors.push_back(d.get());
-        if (cfg.recordTrace)
-            setup.detectors.push_back(&trace);
+        if (art.trace)
+            setup.detectors.push_back(art.trace.get());
 
-        const RunOutcome out = runWorkload(setup);
-        if (!out.completed)
+        art.out = runWorkload(setup);
+        return art;
+    };
+
+    auto mergeOne = [&](std::size_t i, RunArtifacts &&art) {
+        if (!art.out.completed) {
+            // The injected bug hung the run.  Count it, record which
+            // injection it was, and keep the partial detector state out
+            // of the detection accounting below.
             ++res.timeouts;
-        if (cfg.onRunDone && out.completed) {
-            cfg.onRunDone(CampaignRunView{
-                i, out, ideal, dets,
-                cfg.recordTrace ? &trace : nullptr});
+            res.timedOutRuns.push_back(static_cast<unsigned>(i));
+            return;
+        }
+        if (cfg.onRunDone) {
+            cfg.onRunDone(CampaignRunView{static_cast<unsigned>(i),
+                                          art.out, *art.ideal, art.dets,
+                                          art.trace.get()});
         }
 
-        if (!ideal.races().problemDetected())
-            continue; // removal was redundant (Figure 10 denominator)
+        if (!art.ideal->races().problemDetected())
+            return; // removal was redundant (Figure 10 denominator)
         ++res.manifested;
-        res.idealRawRaces += ideal.races().pairs();
+        res.idealRawRaces += art.ideal->races().pairs();
         for (std::size_t s = 0; s < specs.size(); ++s) {
             const auto &label = specs[s].label;
-            if (dets[s]->races().problemDetected())
+            if (art.dets[s]->races().problemDetected())
                 ++res.problems[label];
-            res.rawRaces[label] += dets[s]->races().pairs();
+            res.rawRaces[label] += art.dets[s]->races().pairs();
         }
-    }
+    };
+
+    parallelForOrdered(cfg.injections, cfg.jobs, runOne, mergeOne);
     return res;
+}
+
+void
+addCampaignMetrics(RunManifest &m, const std::string &app,
+                   const CampaignResult &r)
+{
+    StatRegistry s;
+    s.set("injections", r.injections);
+    s.set("manifested", r.manifested);
+    s.set("timeouts", r.timeouts);
+    s.set("syncInstances", r.totalInstances);
+    s.set("cleanIdealRaces", r.cleanIdealRaces);
+    s.set("idealRawRaces", r.idealRawRaces);
+    for (const auto &[label, n] : r.problems)
+        s.set("problems." + label, n);
+    for (const auto &[label, n] : r.rawRaces)
+        s.set("rawRaces." + label, n);
+    m.metrics.add("campaign." + app, s);
+
+    if (!r.timedOutRuns.empty()) {
+        std::string runs;
+        for (unsigned i : r.timedOutRuns) {
+            if (!runs.empty())
+                runs += ",";
+            runs += std::to_string(i);
+        }
+        m.setConfig("timeoutRuns." + app, runs);
+    }
 }
 
 PerfPoint

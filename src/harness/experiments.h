@@ -65,6 +65,12 @@ struct CampaignConfig
     unsigned injections = 40;
     std::uint64_t seed = 0xC02D; // campaign RNG seed
 
+    /** Worker threads for the injection runs (harness/exec.h).  Every
+     *  job count yields bit-identical results for a given seed: picks
+     *  are drawn up front and results merge in submission order.  0
+     *  means one worker per hardware thread. */
+    unsigned jobs = 1;
+
     /** Attach a TraceRecorder to every injection run (needed by
      *  post-run lint observers; costs memory proportional to the
      *  access count). */
@@ -83,6 +89,12 @@ struct CampaignResult
     unsigned timeouts = 0;   //!< runs the injected bug deadlocked
     std::uint64_t totalInstances = 0; //!< census: removable instances
     std::uint64_t cleanIdealRaces = 0; //!< should be 0 (no false pos.)
+
+    /** Injection indices whose run hit the watchdog.  Timed-out runs
+     *  contribute to `timeouts` only: their partial detector state is
+     *  excluded from manifested/problems/rawRaces so incomplete runs
+     *  cannot skew the Figure 10 percentages. */
+    std::vector<unsigned> timedOutRuns;
 
     /** Per-detector: manifested runs in which it found >=1 race. */
     std::map<std::string, unsigned> problems;
@@ -153,6 +165,18 @@ struct CampaignResult
  */
 CampaignResult runCampaign(const CampaignConfig &cfg,
                            const std::vector<DetectorSpec> &specs);
+
+struct RunManifest;
+
+/**
+ * Record one campaign's outcome under the "campaign.<app>" metric
+ * prefix of @p m (injections, manifested, timeouts, per-detector
+ * problems/rawRaces) and, when runs timed out, a "timeoutRuns.<app>"
+ * config entry listing their injection indices.  Deterministic for a
+ * fixed seed regardless of CampaignConfig::jobs.
+ */
+void addCampaignMetrics(RunManifest &m, const std::string &app,
+                        const CampaignResult &r);
 
 /** Figure 11: relative execution time with CORD attached. */
 struct PerfPoint

@@ -9,7 +9,7 @@
 namespace cord
 {
 
-EventTracer *EventTracer::active_ = nullptr;
+thread_local EventTracer *EventTracer::active_ = nullptr;
 
 namespace
 {

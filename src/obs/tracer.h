@@ -7,8 +7,13 @@
  * fills/evictions, sync acquire/release) into a preallocated ring
  * buffer owned by the run driver.  Tracing is off unless an EventTracer
  * is activated (TracerScope); the disabled fast path is a single
- * null-pointer test on a plain global, and no buffer memory is
+ * null-pointer test on a thread-local, and no buffer memory is
  * allocated until the first event is emitted.
+ *
+ * Activation is per thread: a TracerScope covers one run on the thread
+ * that opened it, so concurrent campaign runs on worker threads
+ * (harness/exec.h) each see only their own tracer and cannot
+ * cross-write each other's ring buffers.
  *
  * The recorded stream exports as Chrome-trace JSON ("traceEvents")
  * loadable in Perfetto / chrome://tracing, with per-CPU, per-thread and
@@ -82,7 +87,8 @@ class EventTracer
     {
     }
 
-    /** The active tracer, or nullptr when tracing is disabled. */
+    /** The calling thread's active tracer, or nullptr when tracing is
+     *  disabled on this thread. */
     static EventTracer *active() { return active_; }
 
     /** Record one event (only called through an active tracer). */
@@ -156,7 +162,10 @@ class EventTracer
   private:
     friend class TracerScope;
 
-    static EventTracer *active_;
+    /** Thread-local so one run's TracerScope (one run == one thread)
+     *  never captures events from runs executing concurrently on other
+     *  workers (see tests/obs_test.cpp TracerThreadIsolation). */
+    static thread_local EventTracer *active_;
 
     std::size_t capacity_;
     std::vector<TraceEvent> ring_;
@@ -165,7 +174,9 @@ class EventTracer
     std::uint64_t perKind_[kTraceEventKinds] = {};
 };
 
-/** RAII activation of a tracer for the enclosing scope (one run). */
+/** RAII activation of a tracer for the enclosing scope: one run on one
+ *  thread.  The scope must be opened on the thread that executes the
+ *  run and only that thread's events are captured. */
 class TracerScope
 {
   public:

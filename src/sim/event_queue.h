@@ -103,8 +103,12 @@ class EventQueue
     run(Tick maxTicks = kMaxTick)
     {
         std::uint64_t executed = 0;
-        const Tick limit =
-            (maxTicks == kMaxTick) ? kMaxTick : now_ + maxTicks;
+        // Saturate: large-but-finite budgets (e.g. a campaign watchdog
+        // of `censusTicks * 25 + 1000000`) must clamp to kMaxTick, not
+        // wrap around and make the limit land in the past.
+        const Tick limit = (maxTicks >= kMaxTick - now_)
+                               ? kMaxTick
+                               : now_ + maxTicks;
         while (!heap_.empty() && heap_.top().when <= limit) {
             step();
             ++executed;

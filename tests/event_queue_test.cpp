@@ -94,6 +94,24 @@ TEST(EventQueue, BoundedRunStopsAtLimit)
     EXPECT_EQ(fired, 10);
 }
 
+TEST(EventQueue, BoundedRunSaturatesInsteadOfWrapping)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(100, [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(q.now(), 100u);
+
+    // A huge-but-finite watchdog budget (the campaign harness passes
+    // `censusTicks * 25 + 1000000`): now + maxTicks would wrap Tick
+    // arithmetic, putting the limit in the past and silently skipping
+    // every pending event.  The limit must saturate at kMaxTick.
+    q.schedule(200, [&] { ++fired; });
+    EXPECT_EQ(q.run(kMaxTick - 50), 1u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, StepReturnsFalseWhenEmpty)
 {
     EventQueue q;

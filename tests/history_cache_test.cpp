@@ -57,6 +57,41 @@ TEST(HistoryCache, GetOrInsertIsStable)
     EXPECT_EQ(c.find(0x1008)->value, 7);
 }
 
+TEST(HistoryCache, InfiniteReferencesStableAcrossRehash)
+{
+    // Infinite mode backs onto a node-based std::unordered_map, so a
+    // held reference stays valid across later inserts and rehashes.
+    // Under ASan this doubles as a use-after-free regression test for
+    // the pointer-stability claim in history_cache.h.
+    HistoryCache<State> c;
+    State &held = c.getOrInsert(0, nullptr);
+    held.value = 7;
+    for (unsigned i = 1; i < 20000; ++i) // force many rehashes
+        c.getOrInsert(i * kLineBytes, nullptr);
+    held.value = 42; // write through the old reference
+    ASSERT_NE(c.find(0), nullptr);
+    EXPECT_EQ(c.find(0), &held);
+    EXPECT_EQ(c.find(0)->value, 42);
+}
+
+TEST(HistoryCache, FiniteEvictionRecyclesTheSlot)
+{
+    // Finite mode returns references into a fixed tag array: never
+    // dangling, but an eviction reuses the victim's slot for the new
+    // line.  This pins down the no-hold-across-insert contract
+    // documented in history_cache.h -- a stale reference silently
+    // aliases the replacement line's state.
+    HistoryCache<State> c(CacheGeometry{128, 64, 2}); // one set, 2 ways
+    State &first = c.getOrInsert(0 * kLineBytes, nullptr);
+    first.value = 11;
+    c.getOrInsert(1 * kLineBytes, nullptr).value = 22;
+    // A third distinct line evicts LRU line 0 and recycles its slot.
+    State &third = c.getOrInsert(2 * kLineBytes, nullptr);
+    EXPECT_EQ(&first, &third); // same storage, different line now
+    EXPECT_EQ(first.value, 0); // state was reset for the new line
+    EXPECT_EQ(c.find(0 * kLineBytes), nullptr);
+}
+
 TEST(HistoryCache, InvalidateRunsCallbackOnce)
 {
     HistoryCache<State> c(CacheGeometry{512, 64, 2});

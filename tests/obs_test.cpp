@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <thread>
 
 #include "cord/cord_detector.h"
 #include "harness/runner.h"
@@ -122,6 +123,45 @@ TEST(Tracer, ScopeActivatesAndRestores)
         EXPECT_EQ(EventTracer::active(), &outer);
     }
     EXPECT_EQ(EventTracer::active(), nullptr);
+}
+
+TEST(Tracer, TracerThreadIsolation)
+{
+    // EventTracer::active_ is thread_local: activation on one thread is
+    // invisible to every other, so parallel campaign workers
+    // (harness/exec.h) can each scope their own tracer without
+    // cross-writing each other's ring buffers.
+    EventTracer main;
+    TracerScope scope(main);
+    ASSERT_EQ(EventTracer::active(), &main);
+
+    EventTracer a, b;
+    auto emitVia = [](EventTracer &t, std::uint64_t base) {
+        // A fresh thread starts with no active tracer, regardless of
+        // what the spawning thread has activated.
+        EXPECT_EQ(EventTracer::active(), nullptr);
+        TracerScope s(t);
+        EXPECT_EQ(EventTracer::active(), &t);
+        for (std::uint64_t i = 0; i < 64; ++i)
+            EventTracer::active()->emit(TraceEventKind::BusTransaction,
+                                        /*tick=*/i, kInvalidThread,
+                                        /*core=*/0, /*a=*/base + i);
+    };
+    std::thread ta([&] { emitVia(a, 1000); });
+    std::thread tb([&] { emitVia(b, 2000); });
+    ta.join();
+    tb.join();
+
+    // The spawning thread's activation survives untouched, and no
+    // worker event leaked into the wrong buffer.
+    EXPECT_EQ(EventTracer::active(), &main);
+    EXPECT_EQ(main.total(), 0u);
+    EXPECT_EQ(a.total(), 64u);
+    EXPECT_EQ(b.total(), 64u);
+    for (const TraceEvent &ev : a.snapshot())
+        EXPECT_TRUE(ev.a >= 1000 && ev.a < 2000) << ev.a;
+    for (const TraceEvent &ev : b.snapshot())
+        EXPECT_GE(ev.a, 2000u) << ev.a;
 }
 
 TEST(Tracer, PreservesEmissionOrderAndWraps)

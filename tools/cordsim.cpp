@@ -5,8 +5,11 @@
  * Runs one workload on the simulated CMP with a configurable detector
  * set and prints a run summary: races found by each detector, order
  * log statistics, memory-system behaviour and (optionally) a replay
- * verification pass.  Options accept both "--opt value" and
- * "--opt=value" spellings.
+ * verification pass.  With --campaign N it instead runs a full
+ * injection campaign (N uniform sync removals, as the bench_fig*
+ * binaries do), optionally spread over --jobs worker threads with
+ * bit-identical results for any job count.  Options accept both
+ * "--opt value" and "--opt=value" spellings.
  *
  * Usage:
  *   cordsim [options]
@@ -16,6 +19,11 @@
  *     --cores N           processors (default 4)
  *     --seed N            run seed (default 1)
  *     --d N               CORD sync-read margin D (default 16)
+ *     --campaign N        run an N-injection campaign of the workload
+ *                         (CORD + VC-L2 vs Ideal) instead of one run;
+ *                         honours --jobs/--lint/--manifest
+ *     --jobs N            campaign worker threads (default CORD_JOBS
+ *                         or 1; 0 = one per hardware thread)
  *     --inject TID:SEQ    remove thread TID's SEQ-th sync instance
  *     --known-races       include the apps' pre-existing races
  *     --directory         directory coherence instead of snooping
@@ -51,7 +59,10 @@
 #include "cord/log_codec.h"
 #include "cord/replay.h"
 #include "cord/vc_detector.h"
+#include "harness/exec.h"
+#include "harness/experiments.h"
 #include "harness/runner.h"
+#include "harness/table.h"
 #include "harness/trace.h"
 #include "inject/injector.h"
 #include "obs/manifest.h"
@@ -70,6 +81,8 @@ struct Options
     unsigned cores = 4;
     std::uint64_t seed = 1;
     std::uint32_t d = 16;
+    unsigned campaign = 0; //!< >0 = campaign mode with N injections
+    unsigned jobs = 1;     //!< campaign worker threads
     bool haveInjection = false;
     InjectionPick pick;
     bool knownRaces = false;
@@ -89,8 +102,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--workload NAME] [--scale N] [--threads N]"
                  " [--cores N]\n"
-                 "       [--seed N] [--d N] [--inject TID:SEQ]"
-                 " [--directory]\n"
+                 "       [--seed N] [--d N] [--campaign N] [--jobs N]\n"
+                 "       [--inject TID:SEQ] [--directory]\n"
                  "       [--migrate N] [--replay] [--trace FILE]"
                  " [--manifest FILE]\n"
                  "       [--save-trace FILE] [--save-log FILE]"
@@ -103,6 +116,7 @@ Options
 parse(int argc, char **argv)
 {
     Options opt;
+    opt.jobs = defaultJobs();
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         // Support --opt=value next to --opt value.
@@ -133,6 +147,11 @@ parse(int argc, char **argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (a == "--d") {
             opt.d = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--campaign") {
+            opt.campaign = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--jobs") {
+            opt.jobs = resolveJobs(
+                static_cast<unsigned>(std::atoi(next())));
         } else if (a == "--inject") {
             const char *spec = next();
             const char *colon = std::strchr(spec, ':');
@@ -181,12 +200,124 @@ traceCapacity()
     return n ? n : EventTracer::kDefaultCapacity;
 }
 
+/**
+ * --campaign mode: a full injection campaign of the selected workload
+ * (the same experiment the bench_fig* binaries run per app), sharded
+ * over --jobs workers.  With --lint every completed run's artifacts
+ * are checked; exit 1 on any finding.
+ */
+int
+runCampaignMode(const Options &opt)
+{
+    CampaignConfig cfg;
+    cfg.workload = opt.workload;
+    cfg.params.numThreads = opt.threads;
+    cfg.params.scale = opt.scale;
+    cfg.params.seed = opt.seed * 7 + 5;
+    cfg.params.includeKnownRaces = opt.knownRaces;
+    cfg.machine.numCores = opt.cores;
+    cfg.machine.coherence = opt.directory ? CoherenceKind::Directory
+                                          : CoherenceKind::Snooping;
+    cfg.machine.migrationPeriodInstrs = opt.migrate;
+    cfg.injections = opt.campaign;
+    cfg.seed = opt.seed * 101 + 13;
+    cfg.jobs = opt.jobs;
+
+    CordConfig cc;
+    cc.d = opt.d;
+    unsigned lintFindings = 0;
+    if (opt.lint) {
+        cfg.recordTrace = true;
+        cfg.onRunDone = [&](const CampaignRunView &view) {
+            for (const auto &det : view.detectors) {
+                const auto *cordDet =
+                    dynamic_cast<const CordDetector *>(det.get());
+                if (!cordDet)
+                    continue;
+                const std::vector<std::uint8_t> wire =
+                    encodeOrderLog(cordDet->orderLog());
+                DecodedTrace decoded;
+                decoded.events = view.trace->events();
+                decoded.threadEnds = view.trace->threadEnds();
+                LintInput lin;
+                lin.wireLog = &wire;
+                lin.trace = &decoded;
+                lin.onlineReport = &cordDet->races();
+                lin.cordConfig = cordDet->config();
+                const LintReport rep = runLint(lin);
+                if (rep.errors() > 0 || rep.warnings() > 0) {
+                    std::fputs(rep.renderText().c_str(), stderr);
+                    std::fprintf(stderr,
+                                 "cordlint: findings in injection run "
+                                 "#%u\n",
+                                 view.index);
+                    lintFindings += rep.errors() + rep.warnings();
+                }
+            }
+        };
+    }
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    const std::string cordLabel = "CORD-D" + std::to_string(opt.d);
+    const CampaignResult res = runCampaign(
+        cfg, {cordSpecWith(cc, cordLabel), vcL2CacheSpec()});
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+
+    std::printf("campaign      : %s, %u injections on %u worker "
+                "thread(s), seed %llu\n",
+                opt.workload.c_str(), res.injections, opt.jobs,
+                static_cast<unsigned long long>(opt.seed));
+    TextTable t({"Metric", "Value"});
+    t.addRow({"manifested", std::to_string(res.manifested)});
+    t.addRow({"manifestation rate",
+              TextTable::percent(res.manifestationRate())});
+    t.addRow({"timeouts", std::to_string(res.timeouts)});
+    t.addRow({"sync instances", std::to_string(res.totalInstances)});
+    t.addRow({"ideal raw races", std::to_string(res.idealRawRaces)});
+    for (const auto &[label, n] : res.problems)
+        t.addRow({"problems:" + label,
+                  std::to_string(n) + " (" +
+                      TextTable::percent(res.problemRateVsIdeal(label)) +
+                      " of Ideal)"});
+    for (const auto &[label, n] : res.rawRaces)
+        t.addRow({"rawRaces:" + label, std::to_string(n)});
+    t.print("Campaign summary");
+    std::printf("wall time     : %.3f s\n", wallSeconds);
+
+    if (!opt.manifestPath.empty()) {
+        RunManifest m;
+        m.tool = "cordsim";
+        m.workload = opt.workload;
+        m.seed = opt.seed;
+        m.setConfig("campaign", std::uint64_t(opt.campaign));
+        m.setConfig("scale", std::uint64_t(opt.scale));
+        m.setConfig("threads", std::uint64_t(opt.threads));
+        m.setConfig("cores", std::uint64_t(opt.cores));
+        m.setConfig("d", std::uint64_t(opt.d));
+        m.lintVerdict = !opt.lint ? "skipped"
+                        : lintFindings ? "findings"
+                                       : "clean";
+        addCampaignMetrics(m, opt.workload, res);
+        // No job count and no volatile fields: the same seed writes a
+        // byte-identical campaign manifest at any --jobs value.
+        m.save(opt.manifestPath, /*includeVolatile=*/false);
+        std::printf("manifest      : %s\n", opt.manifestPath.c_str());
+    }
+    return (opt.lint && lintFindings) ? 1 : 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
+
+    if (opt.campaign > 0)
+        return runCampaignMode(opt);
 
     RunSetup setup;
     setup.workload = opt.workload;

@@ -12,6 +12,10 @@
  *   check-trace T.json      validate a Chrome-trace file produced by
  *                           `cordsim --trace`; exit 1 on schema errors
  *
+ * --jobs N parses and flattens manifests on N worker threads (show and
+ * agg over large campaign directories); output order and aggregates
+ * are identical for every N.  Defaults to CORD_JOBS, else 1.
+ *
  * Exit codes: 0 ok / no differences, 1 differences or invalid trace,
  * 2 usage or I/O error.  Schemas: docs/OBSERVABILITY.md.
  */
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/exec.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -38,12 +43,14 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-                 "usage: cordstat show M.json...\n"
+                 "usage: cordstat show [--jobs N] M.json...\n"
                  "       cordstat diff [--tol PCT] A.json B.json\n"
-                 "       cordstat agg M.json...\n"
+                 "       cordstat agg [--jobs N] M.json...\n"
                  "       cordstat check-trace T.json\n");
     std::exit(2);
 }
+
+unsigned g_jobs = 1; //!< --jobs: manifest parse/flatten workers
 
 bool
 readFile(const std::string &path, std::string &out)
@@ -116,8 +123,12 @@ int
 cmdShow(const std::vector<std::string> &paths)
 {
     bool first = true;
-    for (const std::string &path : paths) {
-        const JsonValue m = loadManifest(path);
+    // Workers parse; the merge callback prints in argument order.
+    parallelForOrdered(
+        paths.size(), g_jobs,
+        [&](std::size_t i) { return loadManifest(paths[i]); },
+        [&](std::size_t i, JsonValue &&m) {
+        const std::string &path = paths[i];
         if (!first)
             std::printf("\n");
         first = false;
@@ -157,7 +168,7 @@ cmdShow(const std::vector<std::string> &paths)
                             t.str("title").c_str(),
                             t.find("rows") ? t.find("rows")->size() : 0);
         }
-    }
+        });
     return 0;
 }
 
@@ -216,14 +227,21 @@ int
 cmdAgg(const std::vector<std::string> &paths)
 {
     std::map<std::string, std::pair<unsigned, double>> acc; // n, total
-    for (const std::string &path : paths) {
-        const JsonValue m = loadManifest(path);
-        for (const auto &[name, v] : manifestMetrics(m)) {
-            auto &[n, total] = acc[name];
-            ++n;
-            total += v;
-        }
-    }
+    // Parsing and flattening dominate; fan them out and fold the
+    // per-manifest maps in argument order so totals accumulate in the
+    // same sequence (and thus round identically) for any job count.
+    parallelForOrdered(
+        paths.size(), g_jobs,
+        [&](std::size_t i) {
+            return manifestMetrics(loadManifest(paths[i]));
+        },
+        [&](std::size_t, std::map<std::string, double> &&metrics) {
+            for (const auto &[name, v] : metrics) {
+                auto &[n, total] = acc[name];
+                ++n;
+                total += v;
+            }
+        });
     std::printf("%-44s %5s %16s %16s\n", "metric", "n", "total", "mean");
     for (const auto &[name, nt] : acc)
         std::printf("%-44s %5u %16s %16s\n", name.c_str(), nt.first,
@@ -318,10 +336,14 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
 
     double tolPct = 0.0;
+    g_jobs = defaultJobs();
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc)
             tolPct = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            g_jobs = resolveJobs(
+                static_cast<unsigned>(std::atoi(argv[++i])));
         else
             paths.push_back(argv[i]);
     }
