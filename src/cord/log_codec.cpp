@@ -44,6 +44,32 @@ get32(const std::vector<std::uint8_t> &in, std::size_t off)
 
 } // namespace
 
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool
+getVarint(const std::vector<std::uint8_t> &in, std::size_t &off,
+          std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (off >= in.size())
+            return false; // truncated
+        const std::uint8_t byte = in[off++];
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false; // longer than 10 bytes: not a 64-bit value
+}
+
 bool
 isWireEncodable(const OrderLog &log)
 {

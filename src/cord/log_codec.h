@@ -23,6 +23,25 @@
 namespace cord
 {
 
+/// @{ @name Varint primitives
+/// LEB128 base-128 varints, shared by every variable-length wire
+/// format in the code base (the schedule log in src/sched uses them;
+/// the order log itself stays fixed-width, matching the hardware).
+
+/** Append @p v to @p out as a little-endian base-128 varint. */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/**
+ * Decode one varint from @p in starting at @p off; advances @p off
+ * past the encoded bytes.
+ * @return false on truncated input or an encoding longer than 10
+ *         bytes (64 bits); @p off and @p v are unspecified then.
+ */
+bool getVarint(const std::vector<std::uint8_t> &in, std::size_t &off,
+               std::uint64_t &v);
+
+/// @}
+
 /** Encode the log into its 8-byte-per-entry wire format. */
 std::vector<std::uint8_t> encodeOrderLog(const OrderLog &log);
 

@@ -99,6 +99,10 @@ Simulation::scheduleCore(CoreId c)
 void
 Simulation::coreStep(CoreId c)
 {
+    if (sched_ != nullptr) {
+        coreStepPolicy(c);
+        return;
+    }
     Core &core = cores_[c];
     core.eventScheduled = false;
     const std::size_t n = core.threads.size();
@@ -109,6 +113,63 @@ Simulation::coreStep(CoreId c)
             continue;
         if (runThread(t))
             return; // one in-flight operation per (blocking) core
+    }
+}
+
+void
+Simulation::coreStepPolicy(CoreId c)
+{
+    Core &core = cores_[c];
+    core.eventScheduled = false;
+    // Every iteration either consumes the core slot (an operation goes
+    // in flight) or retires a thread from this core's runnable set --
+    // runThread returns false only when the thread finished or
+    // migrated away -- so the loop is bounded by the threads pinned
+    // here at entry.  A full rescan after a false return (instead of
+    // the default path's shrinking probe window) guarantees a runnable
+    // thread is never stranded on an otherwise idle core, which a
+    // policy picking beyond the first candidate could otherwise cause.
+    std::size_t guard = core.threads.size();
+    for (;;) {
+        const std::size_t n = core.threads.size();
+        if (n == 0)
+            return;
+        if (core.rr >= n)
+            core.rr = 0; // a migration shrank the list under the cursor
+        // Runnable candidates in the cursor's probe order.  The policy
+        // is queried only at contended decisions (>= 2 candidates); a
+        // lone candidate issues unconditionally, so quiet phases
+        // produce no schedule-log entries.
+        candPos_.clear();
+        candTids_.clear();
+        for (std::size_t probe = 0; probe < n; ++probe) {
+            const std::size_t pos = (core.rr + probe) % n;
+            const Thread &t = *threads_[core.threads[pos]];
+            if (t.finished || t.waiting || t.blocked || !t.spawned)
+                continue;
+            candPos_.push_back(pos);
+            candTids_.push_back(t.tid);
+        }
+        if (candPos_.empty())
+            return;
+        std::size_t choice = 0;
+        if (candTids_.size() > 1) {
+            choice = sched_->pickThread(c, candTids_);
+            if (choice >= candTids_.size())
+                choice = 0;
+            if (schedRec_)
+                schedRec_->push(SchedPoint::Pick, choice);
+        }
+        const std::size_t pos = candPos_[choice];
+        Thread &t = *threads_[core.threads[pos]];
+        // Advance the cursor past the chosen slot first, exactly like
+        // the default path, so a migration's cursor reset inside
+        // runThread still wins.
+        core.rr = static_cast<unsigned>((pos + 1) % n);
+        if (runThread(t))
+            return; // one in-flight operation per (blocking) core
+        if (guard-- == 0)
+            return; // defensive bound; unreachable in practice
     }
 }
 
@@ -221,6 +282,12 @@ Simulation::issueMemOp(Thread &t)
         completion =
             mem_.access(t.core, op.addr, writeForTiming, events_.now())
                 .completion;
+        if (sched_) {
+            const Tick extra = sched_->memDelay(t.tid, op.addr, op.sync);
+            if (schedRec_)
+                schedRec_->push(SchedPoint::Delay, extra);
+            completion += extra;
+        }
     }
 
     t.waiting = true;
@@ -244,6 +311,16 @@ Simulation::publish(Thread &t, Addr addr, AccessKind kind,
     ev.instrCount = t.instrs;
     ev.value = value;
     ++committed_;
+    // Interleaving signature: FNV-1a over (tid, kind, word address) in
+    // commit order.  Values are excluded so the signature fingerprints
+    // the ordering alone, not the data it produced.
+    auto mix = [this](std::uint64_t x) {
+        sig_ ^= x;
+        sig_ *= 0x100000001b3ULL;
+    };
+    mix(ev.tid);
+    mix(static_cast<std::uint64_t>(kind));
+    mix(ev.addr);
     for (Detector *d : detectors_)
         d->onAccess(ev);
 }
@@ -306,6 +383,9 @@ Simulation::run(Tick maxTicks)
 {
     for (unsigned i = 0; i < threads_.size(); ++i)
         cord_assert(threads_[i]->spawned, "thread ", i, " never spawned");
+    if (sched_)
+        sched_->begin(static_cast<unsigned>(threads_.size()),
+                      static_cast<unsigned>(cores_.size()));
     for (unsigned c = 0; c < cores_.size(); ++c) {
         if (!cores_[c].threads.empty())
             scheduleCore(static_cast<CoreId>(c));

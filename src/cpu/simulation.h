@@ -22,6 +22,8 @@
 #include "mem/timing_mem.h"
 #include "runtime/sim_task.h"
 #include "runtime/value_store.h"
+#include "sched/policy.h"
+#include "sched/sched_log.h"
 #include "sim/event_queue.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -73,6 +75,22 @@ class Simulation : public CordTrafficSink
     void setGate(ExecutionGate *g) { gate_ = g; }
 
     /**
+     * Attach a scheduling policy (sched/policy.h); may be nullptr
+     * (default): with no policy the engine takes its original
+     * round-robin path untouched.  When @p rec is non-null every policy
+     * answer is appended to it, which is what `--replay-sched` replays
+     * (neither pointer is owned; both must outlive run()).  Not
+     * meaningful together with an ExecutionGate: gated runs take their
+     * order from the gate and skip the memDelay query.
+     */
+    void
+    setSchedulePolicy(SchedulePolicy *p, ScheduleLog *rec = nullptr)
+    {
+        sched_ = p;
+        schedRec_ = rec;
+    }
+
+    /**
      * Run until every thread finishes or @p maxTicks elapses.
      * @return true when all threads finished (false = watchdog fired,
      *         e.g. an injected synchronization removal caused a hang)
@@ -104,6 +122,15 @@ class Simulation : public CordTrafficSink
 
     /** Total committed memory accesses (all threads). */
     std::uint64_t committedAccesses() const { return committed_; }
+
+    /**
+     * FNV-1a over the committed (tid, kind, word address) stream in
+     * commit order: a compact fingerprint of the interleaving this run
+     * took.  Two runs with equal signatures committed the same accesses
+     * in the same global order; explorations count distinct signatures
+     * to measure how much of the schedule space they actually sampled.
+     */
+    std::uint64_t interleavingSignature() const { return sig_; }
 
     ValueStore &memory() { return values_; }
     const ValueStore &memory() const { return values_; }
@@ -143,6 +170,11 @@ class Simulation : public CordTrafficSink
     /** Issue work for one core: pick a ready thread and advance it. */
     void coreStep(CoreId c);
 
+    /** coreStep with a SchedulePolicy attached: same probe budget as
+     *  the default path, but each scan's runnable candidates are
+     *  offered to the policy instead of always taking the first. */
+    void coreStepPolicy(CoreId c);
+
     /** Advance one thread until it issues an op or finishes.
      *  @return true when the core slot was consumed */
     bool runThread(Thread &t);
@@ -176,9 +208,14 @@ class Simulation : public CordTrafficSink
     std::vector<Core> cores_;
     std::vector<Detector *> detectors_;
     ExecutionGate *gate_ = nullptr;
+    SchedulePolicy *sched_ = nullptr;
+    ScheduleLog *schedRec_ = nullptr;
+    std::vector<std::size_t> candPos_;  //!< scratch: candidate slots
+    std::vector<ThreadId> candTids_;    //!< scratch: candidate tids
     std::size_t finishedThreads_ = 0;
     Tick finishTick_ = 0;
     std::uint64_t committed_ = 0;
+    std::uint64_t sig_ = 0xcbf29ce484222325ULL; // FNV offset basis
 };
 
 } // namespace cord

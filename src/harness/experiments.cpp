@@ -1,6 +1,8 @@
 #include "harness/experiments.h"
 
+#include <cstdio>
 #include <memory>
+#include <set>
 
 #include "cord/ideal_detector.h"
 #include "harness/exec.h"
@@ -99,8 +101,14 @@ runCampaign(const CampaignConfig &cfg,
     res.totalInstances = censusOut.totalInstances();
     const Tick watchdog = censusOut.ticks * 25 + 1000000;
 
-    Rng rng(cfg.seed * 2654435761ULL + 1);
+    // Injection picks draw from their own substream of the campaign
+    // seed (kPickStreamTag), disjoint from every schedule stream: the
+    // schedules axis never changes which instances get removed.
+    Rng rng = Rng(cfg.seed).deriveStream(kPickStreamTag);
+    cord_assert(cfg.schedules >= 1,
+                "a campaign needs at least one schedule per injection");
     res.injections = cfg.injections;
+    res.schedules = cfg.schedules;
 
     // Draw every injection pick up front from the campaign RNG, so the
     // pick sequence is a pure function of the seed and never depends on
@@ -120,16 +128,23 @@ runCampaign(const CampaignConfig &cfg,
         std::unique_ptr<IdealDetector> ideal;
         std::vector<std::unique_ptr<Detector>> dets;
         std::unique_ptr<TraceRecorder> trace;
+        std::unique_ptr<SchedulePolicy> policy;
     };
 
-    auto runOne = [&](std::size_t i) {
+    // The fan-out is flat over (injection, schedule) pairs: index
+    // f = injection * schedules + schedule.  Schedule 0 of every
+    // injection runs without a policy attached, so a schedules == 1
+    // campaign is byte-identical to one that predates the axis.
+    auto runOne = [&](std::size_t f) {
+        const std::size_t i = f / cfg.schedules;
+        const unsigned s = static_cast<unsigned>(f % cfg.schedules);
         RunArtifacts art;
         RemoveOneInstance filter(picks[i]);
         art.ideal =
             std::make_unique<IdealDetector>(cfg.params.numThreads);
-        for (const DetectorSpec &s : specs)
+        for (const DetectorSpec &spec : specs)
             art.dets.push_back(
-                s.make(cfg.machine.numCores, cfg.params.numThreads));
+                spec.make(cfg.machine.numCores, cfg.params.numThreads));
         if (cfg.recordTrace)
             art.trace = std::make_unique<TraceRecorder>();
 
@@ -144,39 +159,88 @@ runCampaign(const CampaignConfig &cfg,
             setup.detectors.push_back(d.get());
         if (art.trace)
             setup.detectors.push_back(art.trace.get());
+        if (s > 0) {
+            art.policy = makeSchedulePolicy(cfg.sched, cfg.seed, i, s);
+            setup.sched = art.policy.get();
+        }
 
         art.out = runWorkload(setup);
         return art;
     };
 
-    auto mergeOne = [&](std::size_t i, RunArtifacts &&art) {
-        if (!art.out.completed) {
-            // The injected bug hung the run.  Count it, record which
-            // injection it was, and keep the partial detector state out
-            // of the detection accounting below.
-            ++res.timeouts;
-            res.timedOutRuns.push_back(static_cast<unsigned>(i));
-            return;
-        }
-        if (cfg.onRunDone) {
-            cfg.onRunDone(CampaignRunView{static_cast<unsigned>(i),
-                                          art.out, *art.ideal, art.dets,
-                                          art.trace.get()});
+    // Per-injection aggregation across its schedules.  Merges arrive
+    // in flat order, so one accumulator suffices: reset at schedule 0,
+    // folded into the campaign totals after the last schedule.
+    struct InjectionAgg
+    {
+        bool manifested = false;
+        unsigned firstSched = 0;
+        std::set<std::uint64_t> sigs;
+        std::vector<char> detProblem;
+    };
+    InjectionAgg agg;
+    std::vector<unsigned> manifestedAt; // firstSched per manifested inj.
+
+    auto mergeOne = [&](std::size_t f, RunArtifacts &&art) {
+        const unsigned i = static_cast<unsigned>(f / cfg.schedules);
+        const unsigned s = static_cast<unsigned>(f % cfg.schedules);
+        if (s == 0) {
+            agg.manifested = false;
+            agg.firstSched = 0;
+            agg.sigs.clear();
+            agg.detProblem.assign(specs.size(), 0);
         }
 
-        if (!art.ideal->races().problemDetected())
-            return; // removal was redundant (Figure 10 denominator)
-        ++res.manifested;
-        res.idealRawRaces += art.ideal->races().pairs();
-        for (std::size_t s = 0; s < specs.size(); ++s) {
-            const auto &label = specs[s].label;
-            if (art.dets[s]->races().problemDetected())
-                ++res.problems[label];
-            res.rawRaces[label] += art.dets[s]->races().pairs();
+        if (!art.out.completed) {
+            // The injected bug (or an unlucky schedule) hung the run.
+            // Count it, record which run it was, and keep the partial
+            // detector state out of the detection accounting below.
+            ++res.timeouts;
+            res.timedOutRuns.push_back(static_cast<unsigned>(f));
+        } else {
+            ++res.scheduleRuns;
+            agg.sigs.insert(art.out.interleavingSignature);
+            if (cfg.onRunDone) {
+                cfg.onRunDone(CampaignRunView{i, s, art.out, *art.ideal,
+                                              art.dets,
+                                              art.trace.get()});
+            }
+            if (art.ideal->races().problemDetected()) {
+                if (!agg.manifested) {
+                    agg.manifested = true;
+                    agg.firstSched = s;
+                }
+                res.idealRawRaces += art.ideal->races().pairs();
+                for (std::size_t d = 0; d < specs.size(); ++d) {
+                    const auto &label = specs[d].label;
+                    if (art.dets[d]->races().problemDetected())
+                        agg.detProblem[d] = 1;
+                    res.rawRaces[label] += art.dets[d]->races().pairs();
+                }
+            }
+        }
+
+        if (s + 1 == cfg.schedules) {
+            // Last schedule of this injection: fold the accumulator.
+            res.distinctSignatures += agg.sigs.size();
+            if (agg.manifested) {
+                ++res.manifested;
+                manifestedAt.push_back(agg.firstSched);
+                for (std::size_t d = 0; d < specs.size(); ++d)
+                    if (agg.detProblem[d])
+                        ++res.problems[specs[d].label];
+            }
         }
     };
 
-    parallelForOrdered(cfg.injections, cfg.jobs, runOne, mergeOne);
+    parallelForOrdered(
+        static_cast<std::size_t>(cfg.injections) * cfg.schedules,
+        cfg.jobs, runOne, mergeOne);
+
+    res.manifestedCum.assign(cfg.schedules, 0);
+    for (unsigned first : manifestedAt)
+        for (unsigned s = first; s < cfg.schedules; ++s)
+            ++res.manifestedCum[s];
     return res;
 }
 
@@ -195,6 +259,17 @@ addCampaignMetrics(RunManifest &m, const std::string &app,
         s.set("problems." + label, n);
     for (const auto &[label, n] : r.rawRaces)
         s.set("rawRaces." + label, n);
+    if (r.schedules > 1) {
+        s.set("schedules", r.schedules);
+        s.set("scheduleRuns", r.scheduleRuns);
+        s.set("distinctSignatures", r.distinctSignatures);
+        // Zero-padded so the rendered (sorted) keys keep curve order.
+        for (unsigned i = 0; i < r.manifestedCum.size(); ++i) {
+            char key[32];
+            std::snprintf(key, sizeof key, "manifestedCum.%03u", i);
+            s.set(key, r.manifestedCum[i]);
+        }
+    }
     m.metrics.add("campaign." + app, s);
 
     if (!r.timedOutRuns.empty()) {

@@ -19,6 +19,7 @@
 #include "cord/vc_detector.h"
 #include "harness/runner.h"
 #include "harness/trace.h"
+#include "sched/factory.h"
 
 namespace cord
 {
@@ -48,6 +49,7 @@ DetectorSpec vcL1CacheSpec();
 struct CampaignRunView
 {
     unsigned index = 0;           //!< injection index within campaign
+    unsigned schedule = 0;        //!< schedule index within injection
     const RunOutcome &outcome;
     const Detector &ideal;        //!< the run's Ideal ground truth
     /** Per-spec detector instances, parallel to the spec list. */
@@ -64,6 +66,13 @@ struct CampaignConfig
     MachineConfig machine;
     unsigned injections = 40;
     std::uint64_t seed = 0xC02D; // campaign RNG seed
+
+    /** Schedules explored per injection (>= 1).  Schedule 0 of every
+     *  injection runs without a policy -- byte-identical to a
+     *  schedules == 1 campaign -- and schedules >= 1 run under `sched`
+     *  seeded with scheduleSeed(seed, injection, schedule). */
+    unsigned schedules = 1;
+    SchedOptions sched;
 
     /** Worker threads for the injection runs (harness/exec.h).  Every
      *  job count yields bit-identical results for a given seed: picks
@@ -85,24 +94,38 @@ struct CampaignConfig
 struct CampaignResult
 {
     unsigned injections = 0;
-    unsigned manifested = 0; //!< runs where Ideal found >=1 data race
-    unsigned timeouts = 0;   //!< runs the injected bug deadlocked
+    unsigned schedules = 1;  //!< schedules explored per injection
+    unsigned manifested = 0; //!< injections Ideal saw race in >=1 sched
+    unsigned timeouts = 0;   //!< schedule runs that hit the watchdog
+    unsigned scheduleRuns = 0; //!< schedule runs that completed
     std::uint64_t totalInstances = 0; //!< census: removable instances
     std::uint64_t cleanIdealRaces = 0; //!< should be 0 (no false pos.)
 
-    /** Injection indices whose run hit the watchdog.  Timed-out runs
-     *  contribute to `timeouts` only: their partial detector state is
-     *  excluded from manifested/problems/rawRaces so incomplete runs
-     *  cannot skew the Figure 10 percentages. */
+    /** Flat run indices (injection * schedules + schedule) that hit the
+     *  watchdog.  Timed-out runs contribute to `timeouts` only: their
+     *  partial detector state is excluded from manifested/problems/
+     *  rawRaces so incomplete runs cannot skew the Figure 10
+     *  percentages. */
     std::vector<unsigned> timedOutRuns;
 
-    /** Per-detector: manifested runs in which it found >=1 race. */
+    /** Per-detector: manifested injections in which it found >=1 race
+     *  during a manifested schedule run. */
     std::map<std::string, unsigned> problems;
 
     /** Per-detector: racing pairs summed over manifested runs. */
     std::map<std::string, std::uint64_t> rawRaces;
 
     std::uint64_t idealRawRaces = 0;
+
+    /** Distinct interleaving signatures, summed over injections (how
+     *  much of the schedule space the exploration actually sampled). */
+    std::uint64_t distinctSignatures = 0;
+
+    /** manifestedCum[s]: injections that manifested within schedules
+     *  0..s -- the manifestation-vs-schedule-count curve, cumulative
+     *  and therefore monotonically non-decreasing by construction.
+     *  manifestedCum[schedules - 1] == manifested. */
+    std::vector<unsigned> manifestedCum;
 
     /** Figure 10 quantity. */
     double

@@ -37,6 +37,8 @@ runWorkload(const RunSetup &setup)
         setup.timingCord->setTrafficSink(&sim);
     if (setup.gate)
         sim.setGate(setup.gate);
+    if (setup.sched)
+        sim.setSchedulePolicy(setup.sched, setup.recordSched);
 
     for (unsigned t = 0; t < setup.params.numThreads; ++t)
         sim.spawn(static_cast<ThreadId>(t),
@@ -53,6 +55,7 @@ runWorkload(const RunSetup &setup)
     out.flagInstances = rt.flagInstances();
     out.removedInstances = rt.removedInstances();
     out.footprintWords = sim.memory().footprintWords();
+    out.interleavingSignature = sim.interleavingSignature();
     for (unsigned t = 0; t < setup.params.numThreads; ++t) {
         out.instrs.push_back(sim.instrCount(static_cast<ThreadId>(t)));
         out.readChecksums.push_back(

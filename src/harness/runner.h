@@ -44,6 +44,13 @@ struct RunSetup
     /** Replay gate (nullptr = free-running). */
     ExecutionGate *gate = nullptr;
 
+    /** Scheduling policy (nullptr = the engine's default order; see
+     *  sched/policy.h).  Not meaningful together with `gate`. */
+    SchedulePolicy *sched = nullptr;
+
+    /** When set, records every policy decision for exact replay. */
+    ScheduleLog *recordSched = nullptr;
+
     /** Watchdog: abort after this many ticks (0 = unlimited).  Needed
      *  because some injected removals deadlock the application. */
     Tick maxTicks = 0;
@@ -69,6 +76,12 @@ struct RunOutcome
     std::vector<std::uint64_t> instrs;
     std::vector<std::uint64_t> readChecksums;
     std::size_t footprintWords = 0;
+
+    /** Fingerprint of the interleaving this run took (see
+     *  Simulation::interleavingSignature).  Deliberately not exported
+     *  into `stats`, so manifests of runs that ignore it are unchanged;
+     *  explorations add it to their own manifests explicitly. */
+    std::uint64_t interleavingSignature = 0;
 
     /** Machine-level metrics ("sim.*", "mem.*") snapshotted at run end;
      *  detector metrics stay with the detector objects.  Feed into a

@@ -1,0 +1,57 @@
+#include "sched/factory.h"
+
+namespace cord
+{
+
+const char *
+schedKindName(SchedKind kind)
+{
+    switch (kind) {
+    case SchedKind::Baseline:
+        return "baseline";
+    case SchedKind::Perturb:
+        return "perturb";
+    case SchedKind::Pct:
+        return "pct";
+    }
+    return "?";
+}
+
+bool
+schedKindFromName(const std::string &name, SchedKind &out)
+{
+    if (name == "baseline")
+        out = SchedKind::Baseline;
+    else if (name == "perturb")
+        out = SchedKind::Perturb;
+    else if (name == "pct")
+        out = SchedKind::Pct;
+    else
+        return false;
+    return true;
+}
+
+std::uint64_t
+scheduleSeed(std::uint64_t campaignSeed, std::uint64_t runIdx,
+             std::uint64_t schedIdx)
+{
+    return Rng::deriveSeed(
+        Rng::deriveSeed(Rng::deriveSeed(campaignSeed, kSchedStreamTag),
+                        runIdx),
+        schedIdx);
+}
+
+std::unique_ptr<SchedulePolicy>
+makeSchedulePolicy(const SchedOptions &opts, std::uint64_t campaignSeed,
+                   std::uint64_t runIdx, std::uint64_t schedIdx)
+{
+    if (schedIdx == 0 || opts.kind == SchedKind::Baseline)
+        return std::make_unique<BaselinePolicy>();
+    const std::uint64_t seed =
+        scheduleSeed(campaignSeed, runIdx, schedIdx);
+    if (opts.kind == SchedKind::Pct)
+        return std::make_unique<PctPolicy>(opts.pct, seed);
+    return std::make_unique<PerturbPolicy>(opts.perturb, seed);
+}
+
+} // namespace cord

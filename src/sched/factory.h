@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Schedule-policy selection, construction, and the seed-derivation
+ * contract shared by every exploration entry point (cordsim --explore,
+ * runCampaign's schedules axis, bench_schedules).
+ *
+ * Seed-derivation contract (docs/SCHEDULING.md): the policy seed of
+ * schedule s of run r of a campaign seeded with S is
+ *
+ *   scheduleSeed(S, r, s)
+ *     = deriveSeed(deriveSeed(deriveSeed(S, kSchedStreamTag), r), s)
+ *
+ * i.e. (campaign seed, run index, schedule index) map to independent
+ * splitmix64-derived streams (sim/rng.h).  The first-level tag keeps
+ * schedule streams disjoint from the campaign's injection-pick stream
+ * (tag kPickStreamTag), so adding schedules never changes which sync
+ * instances a campaign removes.  Schedule index 0 is always the
+ * baseline (unperturbed) schedule and draws no randomness at all.
+ */
+
+#ifndef CORD_SCHED_FACTORY_H
+#define CORD_SCHED_FACTORY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/pct.h"
+#include "sched/perturb.h"
+#include "sched/policy.h"
+#include "sim/rng.h"
+
+namespace cord
+{
+
+/** The selectable policy families (wire value in schedule logs). */
+enum class SchedKind : std::uint8_t
+{
+    Baseline = 0,
+    Perturb = 1,
+    Pct = 2,
+};
+
+/** First-level substream tag of all schedule seeds. */
+inline constexpr std::uint64_t kSchedStreamTag = 0x5ced;
+
+/** First-level substream tag of campaign injection picks. */
+inline constexpr std::uint64_t kPickStreamTag = 0x91c5;
+
+/** Policy family plus its per-family knobs. */
+struct SchedOptions
+{
+    SchedKind kind = SchedKind::Perturb;
+    PerturbConfig perturb;
+    PctConfig pct;
+};
+
+/** Canonical lowercase name of @p kind ("baseline"|"perturb"|"pct"). */
+const char *schedKindName(SchedKind kind);
+
+/**
+ * Parse a policy name.
+ * @return false when @p name is not a known policy
+ */
+bool schedKindFromName(const std::string &name, SchedKind &out);
+
+/** Policy seed of schedule @p schedIdx of run @p runIdx (see above). */
+std::uint64_t scheduleSeed(std::uint64_t campaignSeed,
+                           std::uint64_t runIdx, std::uint64_t schedIdx);
+
+/**
+ * Construct a fresh policy instance for one run.  @p schedIdx == 0
+ * always yields BaselinePolicy regardless of @p opts (the unperturbed
+ * schedule anchors every exploration); otherwise the configured family
+ * seeded with scheduleSeed(campaignSeed, runIdx, schedIdx).
+ */
+std::unique_ptr<SchedulePolicy>
+makeSchedulePolicy(const SchedOptions &opts, std::uint64_t campaignSeed,
+                   std::uint64_t runIdx, std::uint64_t schedIdx);
+
+} // namespace cord
+
+#endif // CORD_SCHED_FACTORY_H

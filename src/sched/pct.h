@@ -1,0 +1,177 @@
+/**
+ * @file
+ * PctPolicy: PCT-style randomized priority scheduling.
+ *
+ * PCT (Burckhardt et al., "A Randomized Scheduler with Probabilistic
+ * Guarantees of Finding Bugs", ASPLOS 2010) assigns every thread a
+ * distinct random priority, always runs the highest-priority enabled
+ * thread, and lowers the running thread's priority at d-1 randomly
+ * chosen steps -- guaranteeing a bug of depth d manifests with
+ * probability >= 1/(n * k^(d-1)).
+ *
+ * Our adaptation to the CMP timing simulation: priorities apply at the
+ * per-core issue choice (threads are pinned to cores, so a core picks
+ * the highest-priority *runnable* thread among its own threads rather
+ * than globally), the "step" counter that triggers priority-change
+ * points is the number of contended pick decisions (queries with >= 2
+ * runnable candidates), and at a change point the priority of the
+ * currently highest-priority candidate drops to a value below every
+ * initial priority.  Timing (memDelay) is never perturbed -- PCT
+ * reorders purely through priorities.
+ *
+ * One more deviation is forced by the workloads: PCT assumes
+ * yield-free threads make progress when run, but our runtime's spin
+ * locks and flag waits busy-wait.  Once all change points have fired,
+ * a high-priority spinner sharing a core with the lock holder would
+ * starve it forever.  PctConfig::yieldAfter bounds that: after K
+ * consecutive contended wins by the same thread on a core, the core
+ * yields one decision to its lowest-priority candidate (deterministic,
+ * seed-independent), which lets the holder release the lock while
+ * leaving PCT's ordering intact on non-pathological stretches.
+ */
+
+#ifndef CORD_SCHED_PCT_H
+#define CORD_SCHED_PCT_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Knobs of the PCT-style policy. */
+struct PctConfig
+{
+    unsigned changePoints = 3; //!< d: seeded priority-change points
+    /** Range the change-point steps are drawn from: each change point
+     *  fires at a pick-decision count uniform in [1, horizon].  Should
+     *  be on the order of the run's contended pick decisions; points
+     *  beyond the actual run length simply never fire. */
+    std::uint64_t horizon = 20000;
+    /** Starvation escape for spin-wait workloads: after this many
+     *  consecutive contended wins by one thread on a core, yield one
+     *  decision to the lowest-priority candidate.  0 disables. */
+    unsigned yieldAfter = 128;
+};
+
+/** PCT-style randomized thread priorities with d change points. */
+class PctPolicy : public SchedulePolicy
+{
+  public:
+    PctPolicy(const PctConfig &cfg, std::uint64_t seed)
+        : cfg_(cfg), rng_(seed)
+    {
+    }
+
+    const char *name() const override { return "pct"; }
+
+    void
+    begin(unsigned numThreads, unsigned numCores) override
+    {
+        // Distinct initial priorities: a seeded Fisher-Yates shuffle of
+        // [d+1, d+numThreads]; higher value runs first.  Change-point
+        // targets d, d-1, ..., 1 sit below every initial priority and
+        // stay distinct among themselves.
+        prio_.resize(numThreads);
+        for (unsigned t = 0; t < numThreads; ++t)
+            prio_[t] = cfg_.changePoints + 1 + t;
+        for (unsigned t = numThreads; t > 1; --t)
+            std::swap(prio_[t - 1],
+                      prio_[static_cast<unsigned>(rng_.below(t))]);
+
+        changes_.clear();
+        for (unsigned j = 0; j < cfg_.changePoints; ++j)
+            changes_.push_back(Change{
+                rng_.range(1, std::max<std::uint64_t>(1, cfg_.horizon)),
+                cfg_.changePoints - j});
+        std::sort(changes_.begin(), changes_.end(),
+                  [](const Change &a, const Change &b) {
+                      return a.step < b.step;
+                  });
+        nextChange_ = 0;
+        steps_ = 0;
+        lastWin_.assign(numCores, kNoThread);
+        runLen_.assign(numCores, 0);
+    }
+
+    std::size_t
+    pickThread(CoreId core, const std::vector<ThreadId> &cands) override
+    {
+        ++steps_;
+        // Fire due change points: each lowers the priority of the
+        // currently highest-priority candidate (the thread PCT "is
+        // running" at this decision).
+        while (nextChange_ < changes_.size() &&
+               changes_[nextChange_].step <= steps_) {
+            prio_[cands[best(cands)]] = changes_[nextChange_].newPrio;
+            ++nextChange_;
+        }
+        std::size_t pick = best(cands);
+        if (cfg_.yieldAfter != 0 && lastWin_[core] == cands[pick] &&
+            runLen_[core] >= cfg_.yieldAfter)
+            pick = worst(cands); // starvation escape (see file header)
+        if (cands[pick] == lastWin_[core]) {
+            ++runLen_[core];
+        } else {
+            lastWin_[core] = cands[pick];
+            runLen_[core] = 1;
+        }
+        return pick;
+    }
+
+    /** Current priority of @p tid (tests / diagnostics). */
+    std::uint64_t
+    priority(ThreadId tid) const
+    {
+        return tid < prio_.size() ? prio_[tid] : 0;
+    }
+
+  private:
+    struct Change
+    {
+        std::uint64_t step;    //!< pick-decision count that triggers it
+        std::uint64_t newPrio; //!< in [1, d]: below all initial values
+    };
+
+    /** Index of the highest-priority candidate (ties: probe order). */
+    std::size_t
+    best(const std::vector<ThreadId> &cands) const
+    {
+        std::size_t arg = 0;
+        for (std::size_t i = 1; i < cands.size(); ++i)
+            if (prio_[cands[i]] > prio_[cands[arg]])
+                arg = i;
+        return arg;
+    }
+
+    /** Index of the lowest-priority candidate (ties: probe order). */
+    std::size_t
+    worst(const std::vector<ThreadId> &cands) const
+    {
+        std::size_t arg = 0;
+        for (std::size_t i = 1; i < cands.size(); ++i)
+            if (prio_[cands[i]] < prio_[cands[arg]])
+                arg = i;
+        return arg;
+    }
+
+    static constexpr ThreadId kNoThread = static_cast<ThreadId>(-1);
+
+    PctConfig cfg_;
+    Rng rng_;
+    std::vector<std::uint64_t> prio_; //!< by ThreadId
+    std::vector<Change> changes_;     //!< sorted by step
+    std::size_t nextChange_ = 0;
+    std::uint64_t steps_ = 0;
+    std::vector<ThreadId> lastWin_;   //!< by core: last contended winner
+    std::vector<unsigned> runLen_;    //!< by core: consecutive wins
+};
+
+} // namespace cord
+
+#endif // CORD_SCHED_PCT_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PerturbPolicy: seeded random delay/reorder injection.
+ *
+ * The cheapest useful exploration policy: with small probabilities it
+ * (a) overrides the round-robin issue pick with a uniformly random
+ * runnable thread and (b) stalls a committing memory access by a
+ * random number of ticks, with synchronization accesses perturbed more
+ * aggressively than plain data accesses (races manifest when the
+ * timing around synchronization shifts).  All draws come from two
+ * derived substreams of the policy seed, so the decision sequence is a
+ * pure function of (seed, query sequence).
+ */
+
+#ifndef CORD_SCHED_PERTURB_H
+#define CORD_SCHED_PERTURB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** Knobs of the perturbation policy (defaults keep runs well inside
+ *  the campaign watchdog: expected added stall is a few percent). */
+struct PerturbConfig
+{
+    double pPick = 0.2;       //!< P(override the round-robin pick)
+    double pSyncDelay = 0.25; //!< P(stall a sync access)
+    double pDataDelay = 0.02; //!< P(stall a data access)
+    Tick maxDelay = 1000;     //!< stall is uniform in [1, maxDelay]
+};
+
+/** Seeded random delay/reorder injection at scheduling points. */
+class PerturbPolicy : public SchedulePolicy
+{
+  public:
+    PerturbPolicy(const PerturbConfig &cfg, std::uint64_t seed)
+        : cfg_(cfg), pickRng_(Rng(seed).deriveStream(0)),
+          delayRng_(Rng(seed).deriveStream(1))
+    {
+    }
+
+    const char *name() const override { return "perturb"; }
+
+    std::size_t
+    pickThread(CoreId core, const std::vector<ThreadId> &cands) override
+    {
+        if (cands.size() > 1 && pickRng_.chance(cfg_.pPick))
+            return static_cast<std::size_t>(pickRng_.below(cands.size()));
+        return 0;
+    }
+
+    Tick
+    memDelay(ThreadId tid, Addr addr, bool sync) override
+    {
+        const double p = sync ? cfg_.pSyncDelay : cfg_.pDataDelay;
+        if (p > 0.0 && cfg_.maxDelay > 0 && delayRng_.chance(p))
+            return delayRng_.range(1, cfg_.maxDelay);
+        return 0;
+    }
+
+  private:
+    PerturbConfig cfg_;
+    Rng pickRng_;
+    Rng delayRng_;
+};
+
+} // namespace cord
+
+#endif // CORD_SCHED_PERTURB_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Schedule-exploration policy interface (docs/SCHEDULING.md).
+ *
+ * CORD only detects a race when it dynamically *manifests* (paper
+ * Section 3.2): every simulation run executes exactly one interleaving,
+ * so a single run measures one point in the space of orderings the
+ * paper's evaluation argues about.  A SchedulePolicy perturbs the two
+ * scheduling decisions the execution engine makes --
+ *
+ *  1. which runnable thread a core issues next (pickThread), and
+ *  2. how long a committed memory access is stalled beyond its modeled
+ *     latency (memDelay) --
+ *
+ * so campaigns can sample *many* interleavings per injected bug and
+ * measure manifestation as a distribution instead of a point.
+ *
+ * Determinism contract: a policy must be a pure function of its seed
+ * and the query sequence.  The simulation records every answer in a
+ * ScheduleLog (sched/sched_log.h); feeding the log back through
+ * SchedReplayPolicy (sched/replay.h) reproduces the explored schedule
+ * exactly, which is what makes a race found at schedule seed S
+ * reproducible with `cordsim --replay-sched`.
+ */
+
+#ifndef CORD_SCHED_POLICY_H
+#define CORD_SCHED_POLICY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace cord
+{
+
+/** The two kinds of decision points a policy is consulted at. */
+enum class SchedPoint : std::uint8_t
+{
+    Pick = 0,  //!< core-issue choice among >=2 runnable threads
+    Delay = 1, //!< extra stall ticks for a committing memory access
+};
+
+/**
+ * A scheduling policy: answers the execution engine's decision-point
+ * queries.  One instance drives exactly one run (policies carry
+ * per-run RNG state); construct a fresh one per schedule.
+ */
+class SchedulePolicy
+{
+  public:
+    virtual ~SchedulePolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Called once by the runner before the simulation starts. */
+    virtual void begin(unsigned numThreads, unsigned numCores) {}
+
+    /**
+     * Choose which runnable thread core @p core issues next.
+     * Only consulted when at least two threads are runnable;
+     * @p candidates lists them in the core's round-robin probe order.
+     * @return an index into @p candidates (out-of-range values are
+     *         treated as 0 by the engine)
+     */
+    virtual std::size_t
+    pickThread(CoreId core, const std::vector<ThreadId> &candidates)
+    {
+        return 0;
+    }
+
+    /**
+     * Extra ticks to stall the memory access thread @p tid is issuing
+     * at @p addr (@p sync = labelled synchronization access) beyond its
+     * modeled completion time.  Consulted for every Load/Store/Rmw.
+     */
+    virtual Tick
+    memDelay(ThreadId tid, Addr addr, bool sync)
+    {
+        return 0;
+    }
+};
+
+/**
+ * The identity policy: today's deterministic order, bit-identical to a
+ * run with no policy attached (regression-tested).  Useful as schedule
+ * index 0 of an exploration so the unperturbed interleaving is always
+ * part of the sample, and to exercise the record/replay machinery on
+ * the default schedule.
+ */
+class BaselinePolicy : public SchedulePolicy
+{
+  public:
+    const char *name() const override { return "baseline"; }
+};
+
+} // namespace cord
+
+#endif // CORD_SCHED_POLICY_H

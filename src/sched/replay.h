@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Schedule replay: drive the execution engine from a recorded
+ * ScheduleLog instead of a live policy.
+ *
+ * The engine's scheduling is a pure function of the decision sequence
+ * (docs/SCHEDULING.md): if every query is answered with the recorded
+ * value, the replayed run takes exactly the recorded interleaving, so
+ * the query sequence itself also matches the recording -- any
+ * mismatch therefore indicates divergence (wrong workload, seed,
+ * machine config, or a truncated/corrupt log) and is counted instead
+ * of trusted.  A faithful replay ends with totalDivergence() == 0:
+ * no mismatched answers and no unconsumed decisions.
+ */
+
+#ifndef CORD_SCHED_REPLAY_H
+#define CORD_SCHED_REPLAY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sched/sched_log.h"
+
+namespace cord
+{
+
+/** Replays a recorded decision sequence (drop-in SchedulePolicy). */
+class SchedReplayPolicy : public SchedulePolicy
+{
+  public:
+    /** @p log must outlive the policy. */
+    explicit SchedReplayPolicy(const ScheduleLog &log) : log_(&log) {}
+
+    const char *name() const override { return "replay"; }
+
+    std::size_t
+    pickThread(CoreId core, const std::vector<ThreadId> &cands) override
+    {
+        const std::uint64_t v = expect(SchedPoint::Pick);
+        if (v >= cands.size()) {
+            ++divergence_;
+            return 0;
+        }
+        return static_cast<std::size_t>(v);
+    }
+
+    Tick
+    memDelay(ThreadId tid, Addr addr, bool sync) override
+    {
+        return expect(SchedPoint::Delay);
+    }
+
+    /** Queries whose recorded answer was missing or mismatched. */
+    std::uint64_t divergence() const { return divergence_; }
+
+    /** Recorded decisions not consumed (a faithful replay uses all). */
+    std::size_t
+    remaining() const
+    {
+        return log_->size() - pos_;
+    }
+
+    /** Zero iff the replay reproduced the recording exactly. */
+    std::uint64_t
+    totalDivergence() const
+    {
+        return divergence_ + remaining();
+    }
+
+  private:
+    /** Next recorded value, checking the decision-point kind. */
+    std::uint64_t
+    expect(SchedPoint point)
+    {
+        if (pos_ >= log_->size()) {
+            ++divergence_;
+            return 0; // exhausted: fall back to the baseline decision
+        }
+        const ScheduleDecision &d = log_->entries()[pos_++];
+        if (d.point != point) {
+            ++divergence_;
+            return 0;
+        }
+        return d.value;
+    }
+
+    const ScheduleLog *log_;
+    std::size_t pos_ = 0;
+    std::uint64_t divergence_ = 0;
+};
+
+} // namespace cord
+
+#endif // CORD_SCHED_REPLAY_H

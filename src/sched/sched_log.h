@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The schedule log: a compact record of every decision a SchedulePolicy
+ * made during one run, sufficient to replay the explored interleaving
+ * exactly (sched/replay.h).
+ *
+ * Wire format "cord-schedlog-v1" (LEB128 varints via cord/log_codec.h):
+ *
+ *   magic   4 bytes        'C' 'S' 'L' '1'
+ *   version varint         1
+ *   policy  varint         SchedKind of the recording policy
+ *   seed    varint         policy seed of the recorded run
+ *   threads varint         thread count of the recorded run
+ *   sig     varint         interleaving signature of the recorded run
+ *   count   varint         number of decisions
+ *   count * varint         (value << 1) | point
+ *
+ * Each decision encodes its SchedPoint kind in the low bit, so the
+ * typical entry -- a pick among few candidates or a zero delay -- costs
+ * one byte.  The signature lets `cordsim --replay-sched` verify, from
+ * the log file alone, that the replayed run reproduced the recorded
+ * interleaving.
+ */
+
+#ifndef CORD_SCHED_SCHED_LOG_H
+#define CORD_SCHED_SCHED_LOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/policy.h"
+
+namespace cord
+{
+
+/** One recorded decision. */
+struct ScheduleDecision
+{
+    SchedPoint point = SchedPoint::Pick;
+    std::uint64_t value = 0;
+};
+
+/** The decision sequence of one run, plus replay metadata. */
+class ScheduleLog
+{
+  public:
+    void
+    push(SchedPoint point, std::uint64_t value)
+    {
+        entries_.push_back(ScheduleDecision{point, value});
+    }
+
+    const std::vector<ScheduleDecision> &entries() const
+    {
+        return entries_;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        policyKind = 0;
+        seed = 0;
+        numThreads = 0;
+        signature = 0;
+    }
+
+    /// @{ @name Replay metadata, stamped by the recorder
+    std::uint64_t policyKind = 0; //!< SchedKind of the recording policy
+    std::uint64_t seed = 0;       //!< policy seed of the recorded run
+    std::uint64_t numThreads = 0; //!< thread count of the recorded run
+    std::uint64_t signature = 0;  //!< recorded interleaving signature
+    /// @}
+
+  private:
+    std::vector<ScheduleDecision> entries_;
+};
+
+/** Encode @p log into the cord-schedlog-v1 wire format. */
+std::vector<std::uint8_t> encodeScheduleLog(const ScheduleLog &log);
+
+/**
+ * Decode a cord-schedlog-v1 document.
+ * @return false (with @p err set when non-null) on malformed input
+ */
+bool decodeScheduleLog(const std::vector<std::uint8_t> &bytes,
+                       ScheduleLog &out, std::string *err = nullptr);
+
+/** Encode @p log and write it to @p path (fatal on I/O error). */
+void saveScheduleLog(const ScheduleLog &log, const std::string &path);
+
+/**
+ * Read and decode @p path.
+ * @return false (with @p err set when non-null) when the file cannot
+ *         be read or does not decode
+ */
+bool loadScheduleLog(const std::string &path, ScheduleLog &out,
+                     std::string *err = nullptr);
+
+} // namespace cord
+
+#endif // CORD_SCHED_SCHED_LOG_H

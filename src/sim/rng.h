@@ -32,6 +32,7 @@ class Rng
     void
     reseed(std::uint64_t seed)
     {
+        seed_ = seed;
         std::uint64_t x = seed;
         for (auto &word : state_) {
             x += 0x9e3779b97f4a7c15ULL;
@@ -40,6 +41,42 @@ class Rng
             z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
             word = z ^ (z >> 31);
         }
+    }
+
+    /** The seed this generator was (re)initialized from. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Seed of the independent substream @p tag of a stream seeded with
+     * @p seed: two splitmix64 finalizer rounds over the pair.  Unlike
+     * `seed + tag` arithmetic, nearby (seed, tag) pairs map to
+     * statistically unrelated streams, and derivation composes --
+     * deriveSeed(deriveSeed(s, a), b) differs from
+     * deriveSeed(deriveSeed(s, b), a).
+     */
+    static std::uint64_t
+    deriveSeed(std::uint64_t seed, std::uint64_t tag)
+    {
+        auto fin = [](std::uint64_t z) {
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        return fin(fin(seed + 0x9e3779b97f4a7c15ULL) + tag +
+                   0x9e3779b97f4a7c15ULL);
+    }
+
+    /**
+     * Derive an independent generator for substream @p tag of this
+     * generator's seed (not of its current state, so the derivation is
+     * position-independent: it does not matter how many values have
+     * been drawn).  Chain to map tuples onto streams, e.g.
+     * rng.deriveStream(runIdx).deriveStream(schedIdx).
+     */
+    Rng
+    deriveStream(std::uint64_t tag) const
+    {
+        return Rng(deriveSeed(seed_, tag));
     }
 
     /** Next raw 64-bit value. */
@@ -96,6 +133,7 @@ class Rng
     }
 
     std::uint64_t state_[4];
+    std::uint64_t seed_ = 0;
 };
 
 } // namespace cord

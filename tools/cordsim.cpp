@@ -8,41 +8,13 @@
  * verification pass.  With --campaign N it instead runs a full
  * injection campaign (N uniform sync removals, as the bench_fig*
  * binaries do), optionally spread over --jobs worker threads with
- * bit-identical results for any job count.  Options accept both
- * "--opt value" and "--opt=value" spellings.
- *
- * Usage:
- *   cordsim [options]
- *     --workload NAME     one of the 12 Table-1 analogs (default barnes)
- *     --scale N           input scale (default 1)
- *     --threads N         software threads (default 4)
- *     --cores N           processors (default 4)
- *     --seed N            run seed (default 1)
- *     --d N               CORD sync-read margin D (default 16)
- *     --campaign N        run an N-injection campaign of the workload
- *                         (CORD + VC-L2 vs Ideal) instead of one run;
- *                         honours --jobs/--lint/--manifest
- *     --jobs N            campaign worker threads (default CORD_JOBS
- *                         or 1; 0 = one per hardware thread)
- *     --inject TID:SEQ    remove thread TID's SEQ-th sync instance
- *     --known-races       include the apps' pre-existing races
- *     --directory         directory coherence instead of snooping
- *     --migrate N         migrate threads every N instructions
- *     --replay            verify deterministic replay after the run
- *     --trace FILE        record structured simulator events and write
- *                         them as Chrome-trace JSON (open in Perfetto;
- *                         docs/OBSERVABILITY.md; ring capacity via
- *                         CORD_TRACE_CAPACITY, default 32768 events)
- *     --manifest FILE     write the machine-readable run manifest
- *                         (config, seed, build stamp, metrics, lint
- *                         verdict; inspect with cordstat)
- *     --save-trace FILE   dump the binary access trace to FILE (the
- *                         cordlint input format)
- *     --save-log FILE     dump the wire-format order log to FILE
- *     --lint              run the cordlint checks on the run's
- *                         artifacts (docs/ANALYSIS.md); exit 1 on
- *                         findings
- *     --list              list available workloads and exit
+ * bit-identical results for any job count.  With --explore N it runs
+ * the same configuration under N schedules (schedule 0 = baseline;
+ * docs/SCHEDULING.md), and --replay-sched re-executes a schedule
+ * recorded by --explore exactly.  Options accept both "--opt value"
+ * and "--opt=value" spellings; any invalid flag value or flag
+ * combination exits 2 with a one-line error.  See --help for the full
+ * flag list.
  */
 
 #include <chrono>
@@ -67,6 +39,8 @@
 #include "inject/injector.h"
 #include "obs/manifest.h"
 #include "obs/tracer.h"
+#include "sched/explore.h"
+#include "sched/replay.h"
 
 using namespace cord;
 
@@ -82,13 +56,20 @@ struct Options
     std::uint64_t seed = 1;
     std::uint32_t d = 16;
     unsigned campaign = 0; //!< >0 = campaign mode with N injections
-    unsigned jobs = 1;     //!< campaign worker threads
+    unsigned jobs = 1;     //!< campaign/exploration worker threads
     bool haveInjection = false;
     InjectionPick pick;
     bool knownRaces = false;
     bool directory = false;
     std::uint64_t migrate = 0;
     bool replay = false;
+    unsigned explore = 0; //!< >0 = schedules to explore
+    SchedOptions sched;
+    bool haveSched = false;     //!< --sched was given
+    bool haveSchedSeed = false; //!< --sched-seed was given
+    std::uint64_t schedSeed = 0;
+    std::string saveSchedPrefix;  //!< per-schedule log output prefix
+    std::string replaySchedPath;  //!< schedule log to replay
     std::string tracePath;    //!< Chrome-trace JSON output
     std::string manifestPath; //!< run-manifest JSON output
     std::string accessTracePath; //!< binary access trace (cordlint)
@@ -96,20 +77,97 @@ struct Options
     bool lint = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0)
+void
+usage(std::FILE *to, const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--workload NAME] [--scale N] [--threads N]"
-                 " [--cores N]\n"
-                 "       [--seed N] [--d N] [--campaign N] [--jobs N]\n"
-                 "       [--inject TID:SEQ] [--directory]\n"
-                 "       [--migrate N] [--replay] [--trace FILE]"
-                 " [--manifest FILE]\n"
-                 "       [--save-trace FILE] [--save-log FILE]"
-                 " [--lint] [--list]\n",
-                 argv0);
+    std::fprintf(to,
+        "usage: %s [options]\n"
+        "\n"
+        "Single run (default mode):\n"
+        "  --workload NAME     one of the Table-1 analogs (default "
+        "barnes)\n"
+        "  --scale N           input scale, N >= 1 (default 1)\n"
+        "  --threads N         software threads, N >= 1 (default 4)\n"
+        "  --cores N           processors, N >= 1 (default 4)\n"
+        "  --seed N            run seed (default 1)\n"
+        "  --d N               CORD sync-read margin D (default 16)\n"
+        "  --inject TID:SEQ    remove thread TID's SEQ-th sync "
+        "instance\n"
+        "  --known-races       include the apps' pre-existing races\n"
+        "  --directory         directory coherence instead of "
+        "snooping\n"
+        "  --migrate N         migrate threads every N instructions\n"
+        "  --replay            verify deterministic order-log replay "
+        "after the run\n"
+        "  --trace FILE        write structured simulator events as "
+        "Chrome-trace JSON\n"
+        "  --manifest FILE     write the machine-readable run "
+        "manifest\n"
+        "  --save-trace FILE   dump the binary access trace (cordlint "
+        "input)\n"
+        "  --save-log FILE     dump the wire-format order log\n"
+        "  --lint              run the cordlint checks; exit 1 on "
+        "findings\n"
+        "  --list              list available workloads and exit\n"
+        "\n"
+        "Injection campaign:\n"
+        "  --campaign N        run an N-injection campaign (CORD + "
+        "VC-L2 vs Ideal);\n"
+        "                      honours --jobs/--lint/--manifest, and "
+        "--explore M\n"
+        "                      explores M schedules per injection\n"
+        "  --jobs N            worker threads (default CORD_JOBS or "
+        "1; 0 = one per\n"
+        "                      hardware thread); any value is "
+        "bit-identical\n"
+        "\n"
+        "Schedule exploration (docs/SCHEDULING.md):\n"
+        "  --explore N         run N schedules of this configuration "
+        "(schedule 0 is\n"
+        "                      always the unperturbed baseline)\n"
+        "  --sched NAME        policy for schedules >= 1: baseline, "
+        "perturb (default)\n"
+        "                      or pct\n"
+        "  --sched-seed N      base seed of the schedule streams "
+        "(default: --seed)\n"
+        "  --save-sched PREFIX write PREFIX.sNNN.schedlog per explored "
+        "schedule\n"
+        "  --replay-sched FILE re-execute a recorded schedule log; "
+        "exit 0 iff the\n"
+        "                      replay reproduced it exactly\n"
+        "\n"
+        "  --help              print this message and exit\n",
+        argv0);
+}
+
+/** One-line parse/validation error, exit 2 (satellite contract). */
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "cordsim: %s (try 'cordsim --help')\n",
+                 msg.c_str());
     std::exit(2);
+}
+
+/** Strict unsigned parse: digits only, range-checked. */
+std::uint64_t
+parseNum(const std::string &flag, const char *s, std::uint64_t min,
+         std::uint64_t max = ~std::uint64_t{0})
+{
+    bool ok = *s != '\0';
+    for (const char *p = s; *p; ++p)
+        ok = ok && *p >= '0' && *p <= '9';
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (!ok || errno == ERANGE || v > max)
+        fail(flag + " expects an unsigned integer" +
+             (min > 0 ? " >= " + std::to_string(min) : "") + ", got '" +
+             s + "'");
+    if (v < min)
+        fail(flag + " must be at least " + std::to_string(min) +
+             ", got '" + s + "'");
+    return v;
 }
 
 Options
@@ -117,6 +175,7 @@ parse(int argc, char **argv)
 {
     Options opt;
     opt.jobs = defaultJobs();
+    bool haveCampaign = false, haveExplore = false, haveJobs = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         // Support --opt=value next to --opt value.
@@ -132,43 +191,65 @@ parse(int argc, char **argv)
             if (haveInline)
                 return inlineValue.c_str();
             if (i + 1 >= argc)
-                usage(argv[0]);
+                fail(a + " requires a value");
             return argv[++i];
+        };
+        auto num = [&](std::uint64_t min,
+                       std::uint64_t max = ~std::uint64_t{0}) {
+            return parseNum(a, next(), min, max);
         };
         if (a == "--workload") {
             opt.workload = next();
         } else if (a == "--scale") {
-            opt.scale = static_cast<unsigned>(std::atoi(next()));
+            opt.scale = static_cast<unsigned>(num(1, 1u << 20));
         } else if (a == "--threads") {
-            opt.threads = static_cast<unsigned>(std::atoi(next()));
+            opt.threads = static_cast<unsigned>(num(1, 1024));
         } else if (a == "--cores") {
-            opt.cores = static_cast<unsigned>(std::atoi(next()));
+            opt.cores = static_cast<unsigned>(num(1, 1024));
         } else if (a == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 10);
+            opt.seed = num(0);
         } else if (a == "--d") {
-            opt.d = static_cast<std::uint32_t>(std::atoi(next()));
+            opt.d = static_cast<std::uint32_t>(num(0, 1u << 30));
         } else if (a == "--campaign") {
-            opt.campaign = static_cast<unsigned>(std::atoi(next()));
+            haveCampaign = true;
+            opt.campaign = static_cast<unsigned>(num(1, 1u << 20));
         } else if (a == "--jobs") {
-            opt.jobs = resolveJobs(
-                static_cast<unsigned>(std::atoi(next())));
+            haveJobs = true;
+            opt.jobs = resolveJobs(static_cast<unsigned>(num(0, 4096)));
         } else if (a == "--inject") {
-            const char *spec = next();
-            const char *colon = std::strchr(spec, ':');
-            if (!colon)
-                usage(argv[0]);
+            const std::string spec = next();
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos)
+                fail("--inject expects TID:SEQ, got '" + spec + "'");
             opt.haveInjection = true;
-            opt.pick.tid = static_cast<ThreadId>(std::atoi(spec));
-            opt.pick.seqInThread =
-                std::strtoull(colon + 1, nullptr, 10);
+            opt.pick.tid = static_cast<ThreadId>(parseNum(
+                "--inject TID", spec.substr(0, colon).c_str(), 0, 1023));
+            opt.pick.seqInThread = parseNum(
+                "--inject SEQ", spec.substr(colon + 1).c_str(), 0);
         } else if (a == "--known-races") {
             opt.knownRaces = true;
         } else if (a == "--directory") {
             opt.directory = true;
         } else if (a == "--migrate") {
-            opt.migrate = std::strtoull(next(), nullptr, 10);
+            opt.migrate = num(0);
         } else if (a == "--replay") {
             opt.replay = true;
+        } else if (a == "--explore") {
+            haveExplore = true;
+            opt.explore = static_cast<unsigned>(num(1, 100000));
+        } else if (a == "--sched") {
+            opt.haveSched = true;
+            const std::string name = next();
+            if (!schedKindFromName(name, opt.sched.kind))
+                fail("--sched expects baseline, perturb or pct, got '" +
+                     name + "'");
+        } else if (a == "--sched-seed") {
+            opt.haveSchedSeed = true;
+            opt.schedSeed = num(0);
+        } else if (a == "--save-sched") {
+            opt.saveSchedPrefix = next();
+        } else if (a == "--replay-sched") {
+            opt.replaySchedPath = next();
         } else if (a == "--trace") {
             opt.tracePath = next();
         } else if (a == "--manifest") {
@@ -183,10 +264,62 @@ parse(int argc, char **argv)
             for (const auto &n : workloadNames())
                 std::printf("%s\n", n.c_str());
             std::exit(0);
+        } else if (a == "--help" || a == "-h") {
+            usage(stdout, argv[0]);
+            std::exit(0);
         } else {
-            usage(argv[0]);
+            fail("unknown option '" + a + "'");
         }
     }
+
+    // Flag-combination audit: reject every meaningless combination
+    // with a one-line error instead of silently ignoring flags.
+    const bool exploring = haveExplore || !opt.replaySchedPath.empty();
+    if (opt.haveInjection && opt.pick.tid >= opt.threads)
+        fail("--inject thread " + std::to_string(opt.pick.tid) +
+             " does not exist with --threads " +
+             std::to_string(opt.threads));
+    if (!opt.replaySchedPath.empty()) {
+        const std::pair<bool, const char *> conflicts[] = {
+            {haveExplore, "--explore"},
+            {haveCampaign, "--campaign"},
+            {opt.replay, "--replay"},
+            {opt.lint, "--lint"},
+            {!opt.saveSchedPrefix.empty(), "--save-sched"},
+            {!opt.tracePath.empty(), "--trace"},
+            {!opt.manifestPath.empty(), "--manifest"},
+            {!opt.accessTracePath.empty(), "--save-trace"},
+            {!opt.logPath.empty(), "--save-log"},
+        };
+        for (const auto &[bad, name] : conflicts)
+            if (bad)
+                fail(std::string(name) +
+                     " cannot be combined with --replay-sched");
+    }
+    if ((opt.haveSched || opt.haveSchedSeed) && !exploring)
+        fail("--sched/--sched-seed require --explore");
+    if (!opt.saveSchedPrefix.empty() && !haveExplore)
+        fail("--save-sched requires --explore");
+    if (!opt.saveSchedPrefix.empty() && haveCampaign)
+        fail("--save-sched is not supported with --campaign");
+    if (haveExplore && opt.replay)
+        fail("--replay only applies to single runs, not --explore");
+    if (haveCampaign && opt.replay)
+        fail("--replay only applies to single runs, not --campaign");
+    if (haveCampaign &&
+        (!opt.tracePath.empty() || !opt.accessTracePath.empty() ||
+         !opt.logPath.empty()))
+        fail("--trace/--save-trace/--save-log only apply to single "
+             "runs, not --campaign");
+    if (haveExplore && !haveCampaign &&
+        (opt.lint || !opt.tracePath.empty() ||
+         !opt.accessTracePath.empty() || !opt.logPath.empty()))
+        fail("--lint/--trace/--save-trace/--save-log only apply to "
+             "single runs, not --explore");
+    if (haveJobs && !haveCampaign && !haveExplore)
+        fail("--jobs requires --campaign or --explore");
+    if (!opt.haveSchedSeed)
+        opt.schedSeed = opt.seed;
     return opt;
 }
 
@@ -200,11 +333,48 @@ traceCapacity()
     return n ? n : EventTracer::kDefaultCapacity;
 }
 
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The exploration configuration shared by --explore/--replay-sched. */
+ExploreSpec
+makeSpec(const Options &opt)
+{
+    ExploreSpec spec;
+    spec.workload = opt.workload;
+    spec.params.numThreads = opt.threads;
+    spec.params.scale = opt.scale;
+    spec.params.seed = opt.seed;
+    spec.params.includeKnownRaces = opt.knownRaces;
+    spec.machine.numCores = opt.cores;
+    spec.machine.coherence = opt.directory ? CoherenceKind::Directory
+                                           : CoherenceKind::Snooping;
+    spec.machine.migrationPeriodInstrs = opt.migrate;
+    spec.sched = opt.sched;
+    spec.schedules = opt.explore;
+    spec.seed = opt.schedSeed;
+    spec.jobs = opt.jobs;
+    spec.cordD = opt.d;
+    if (opt.haveInjection) {
+        spec.haveInjection = true;
+        spec.pick = opt.pick;
+        spec.maxTicks = 2000000000ULL; // injected runs can hang
+    }
+    return spec;
+}
+
 /**
  * --campaign mode: a full injection campaign of the selected workload
  * (the same experiment the bench_fig* binaries run per app), sharded
- * over --jobs workers.  With --lint every completed run's artifacts
- * are checked; exit 1 on any finding.
+ * over --jobs workers.  With --explore M every injection is run under
+ * M schedules.  With --lint every completed run's artifacts are
+ * checked; exit 1 on any finding.
  */
 int
 runCampaignMode(const Options &opt)
@@ -222,6 +392,10 @@ runCampaignMode(const Options &opt)
     cfg.injections = opt.campaign;
     cfg.seed = opt.seed * 101 + 13;
     cfg.jobs = opt.jobs;
+    if (opt.explore > 0) {
+        cfg.schedules = opt.explore;
+        cfg.sched = opt.sched;
+    }
 
     CordConfig cc;
     cc.d = opt.d;
@@ -249,8 +423,8 @@ runCampaignMode(const Options &opt)
                     std::fputs(rep.renderText().c_str(), stderr);
                     std::fprintf(stderr,
                                  "cordlint: findings in injection run "
-                                 "#%u\n",
-                                 view.index);
+                                 "#%u (schedule %u)\n",
+                                 view.index, view.schedule);
                     lintFindings += rep.errors() + rep.warnings();
                 }
             }
@@ -266,9 +440,10 @@ runCampaignMode(const Options &opt)
                                       wallStart)
             .count();
 
-    std::printf("campaign      : %s, %u injections on %u worker "
-                "thread(s), seed %llu\n",
-                opt.workload.c_str(), res.injections, opt.jobs,
+    std::printf("campaign      : %s, %u injections x %u schedule(s) on "
+                "%u worker thread(s), seed %llu\n",
+                opt.workload.c_str(), res.injections, res.schedules,
+                opt.jobs,
                 static_cast<unsigned long long>(opt.seed));
     TextTable t({"Metric", "Value"});
     t.addRow({"manifested", std::to_string(res.manifested)});
@@ -284,6 +459,18 @@ runCampaignMode(const Options &opt)
                       " of Ideal)"});
     for (const auto &[label, n] : res.rawRaces)
         t.addRow({"rawRaces:" + label, std::to_string(n)});
+    if (res.schedules > 1) {
+        t.addRow({"schedule runs", std::to_string(res.scheduleRuns)});
+        t.addRow({"distinct interleavings",
+                  std::to_string(res.distinctSignatures)});
+        std::string curve;
+        for (unsigned c : res.manifestedCum) {
+            if (!curve.empty())
+                curve += " ";
+            curve += std::to_string(c);
+        }
+        t.addRow({"manifested cum.", curve});
+    }
     t.print("Campaign summary");
     std::printf("wall time     : %.3f s\n", wallSeconds);
 
@@ -297,6 +484,10 @@ runCampaignMode(const Options &opt)
         m.setConfig("threads", std::uint64_t(opt.threads));
         m.setConfig("cores", std::uint64_t(opt.cores));
         m.setConfig("d", std::uint64_t(opt.d));
+        if (res.schedules > 1) {
+            m.setConfig("schedules", std::uint64_t(res.schedules));
+            m.setConfig("sched", schedKindName(cfg.sched.kind));
+        }
         m.lintVerdict = !opt.lint ? "skipped"
                         : lintFindings ? "findings"
                                        : "clean";
@@ -309,6 +500,156 @@ runCampaignMode(const Options &opt)
     return (opt.lint && lintFindings) ? 1 : 0;
 }
 
+/** --explore mode: N schedules of one configuration. */
+int
+runExploreMode(const Options &opt)
+{
+    const ExploreSpec spec = makeSpec(opt);
+    const auto wallStart = std::chrono::steady_clock::now();
+    const ExploreResult res = exploreSchedules(spec);
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+
+    std::printf("exploration   : %s, %u schedule(s) under %s on %u "
+                "worker thread(s), sched-seed %llu\n",
+                opt.workload.c_str(), spec.schedules,
+                schedKindName(spec.sched.kind), opt.jobs,
+                static_cast<unsigned long long>(spec.seed));
+    if (opt.haveInjection)
+        std::printf("injection     : removed thread %u's instance "
+                    "%llu in every schedule\n",
+                    opt.pick.tid,
+                    static_cast<unsigned long long>(
+                        opt.pick.seqInThread));
+
+    TextTable t({"Sched", "Policy", "Done", "Ticks", "Decisions",
+                 "Ideal", "CORD", "Signature"});
+    for (const ScheduleRun &r : res.runs) {
+        t.addRow({std::to_string(r.index),
+                  r.index == 0 ? "baseline"
+                               : schedKindName(spec.sched.kind),
+                  r.completed ? "yes" : "TIMEOUT",
+                  std::to_string(r.ticks),
+                  std::to_string(r.log.size()),
+                  std::to_string(r.idealRacePairs),
+                  std::to_string(r.cordRacePairs),
+                  hex64(r.signature)});
+    }
+    t.print("Explored schedules");
+    std::printf("distinct interleavings: %u of %u completed\n",
+                res.distinctSignatures, res.completedRuns);
+    std::printf("racing schedules      : %u (cumulative:",
+                res.racingSchedules);
+    for (unsigned c : res.racingCum)
+        std::printf(" %u", c);
+    std::printf(")\n");
+    std::printf("wall time     : %.3f s\n", wallSeconds);
+
+    if (!opt.saveSchedPrefix.empty()) {
+        for (const ScheduleRun &r : res.runs) {
+            char name[32];
+            std::snprintf(name, sizeof name, ".s%03u.schedlog",
+                          r.index);
+            saveScheduleLog(r.log, opt.saveSchedPrefix + name);
+        }
+        std::printf("schedule logs : %u -> %s.sNNN.schedlog\n",
+                    spec.schedules, opt.saveSchedPrefix.c_str());
+    }
+
+    if (!opt.manifestPath.empty()) {
+        RunManifest m;
+        m.tool = "cordsim";
+        m.workload = opt.workload;
+        m.seed = opt.seed;
+        m.setConfig("scale", std::uint64_t(opt.scale));
+        m.setConfig("threads", std::uint64_t(opt.threads));
+        m.setConfig("cores", std::uint64_t(opt.cores));
+        m.setConfig("d", std::uint64_t(opt.d));
+        m.setConfig("sched", schedKindName(spec.sched.kind));
+        m.setConfig("schedSeed", std::uint64_t(spec.seed));
+        if (opt.haveInjection)
+            m.setConfig("inject",
+                        std::to_string(opt.pick.tid) + ":" +
+                            std::to_string(opt.pick.seqInThread));
+        // 64-bit signatures go into config strings: metric values are
+        // doubles and would silently lose the low bits.
+        for (const ScheduleRun &r : res.runs) {
+            char key[32];
+            std::snprintf(key, sizeof key, "signature.s%03u", r.index);
+            m.setConfig(key, hex64(r.signature));
+        }
+        StatRegistry s;
+        s.set("explore.schedules", spec.schedules);
+        s.set("explore.completed", res.completedRuns);
+        s.set("explore.timeouts", res.timeouts);
+        s.set("explore.distinctSignatures", res.distinctSignatures);
+        s.set("explore.racingSchedules", res.racingSchedules);
+        for (unsigned i = 0; i < res.racingCum.size(); ++i) {
+            char key[32];
+            std::snprintf(key, sizeof key, "explore.racingCum.%03u", i);
+            s.set(key, res.racingCum[i]);
+        }
+        m.metrics.add("", s);
+        m.save(opt.manifestPath, /*includeVolatile=*/false);
+        std::printf("manifest      : %s\n", opt.manifestPath.c_str());
+    }
+    return 0;
+}
+
+/**
+ * --replay-sched mode: re-execute a recorded schedule and verify the
+ * replay was exact -- every recorded decision consumed in order and
+ * the interleaving signature reproduced.  Exit 0 iff faithful; the
+ * run configuration flags must match the recording's.
+ */
+int
+runReplaySchedMode(const Options &opt)
+{
+    ScheduleLog log;
+    std::string err;
+    if (!loadScheduleLog(opt.replaySchedPath, log, &err))
+        fail(opt.replaySchedPath + ": " + err);
+    if (log.numThreads != opt.threads)
+        fail("schedule log was recorded with " +
+             std::to_string(log.numThreads) +
+             " threads; rerun with --threads " +
+             std::to_string(log.numThreads));
+
+    std::printf("schedule log  : %s (%zu decisions, policy %s, seed "
+                "%llu)\n",
+                opt.replaySchedPath.c_str(), log.size(),
+                schedKindName(static_cast<SchedKind>(log.policyKind)),
+                static_cast<unsigned long long>(log.seed));
+
+    ExploreSpec spec = makeSpec(opt);
+    if (spec.maxTicks == 0)
+        spec.maxTicks = 2000000000ULL; // a diverged replay may hang
+    SchedReplayPolicy policy(log);
+    const ScheduleRun r = runOneSchedule(spec, 0, policy, nullptr);
+
+    const bool sigOk = r.signature == log.signature;
+    const bool ok =
+        r.completed && policy.totalDivergence() == 0 && sigOk;
+    std::printf("completed     : %s at tick %llu\n",
+                r.completed ? "yes" : "NO (watchdog)",
+                static_cast<unsigned long long>(r.ticks));
+    std::printf("divergence    : %llu mismatched, %zu unconsumed\n",
+                static_cast<unsigned long long>(policy.divergence()),
+                policy.remaining());
+    std::printf("signature     : %s (recorded %s)\n",
+                hex64(r.signature).c_str(),
+                hex64(log.signature).c_str());
+    std::printf("races         : Ideal=%llu CORD(D=%u)=%llu\n",
+                static_cast<unsigned long long>(r.idealRacePairs),
+                opt.d,
+                static_cast<unsigned long long>(r.cordRacePairs));
+    std::printf("replay        : %s\n",
+                ok ? "exact (schedule reproduced)" : "DIVERGED");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -316,8 +657,12 @@ main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
 
+    if (!opt.replaySchedPath.empty())
+        return runReplaySchedMode(opt);
     if (opt.campaign > 0)
         return runCampaignMode(opt);
+    if (opt.explore > 0)
+        return runExploreMode(opt);
 
     RunSetup setup;
     setup.workload = opt.workload;
