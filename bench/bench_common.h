@@ -12,6 +12,13 @@
  *   --manifest FILE  write a deterministic cord-manifest-v1 document
  *                    with every campaign's metrics (cordstat-readable)
  *   --json           print result tables as JSON (where supported)
+ *   --repeat N       timed repetitions per measurement (median-of-N
+ *                    reporting; default 5)
+ *   --warmup N       untimed warmup repetitions before measuring
+ *                    (default 1)
+ *   --perf-out FILE  override the wall-clock timing manifest path of
+ *                    binaries that emit one (bench_perf writes
+ *                    BENCH_perf.json by default)
  *
  * Environment knobs (all optional):
  *   CORD_SCALE       workload input scale      (default 2)
@@ -31,6 +38,8 @@
 #ifndef CORD_BENCH_COMMON_H
 #define CORD_BENCH_COMMON_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +76,9 @@ struct BenchArgs
     unsigned jobs = 1;           //!< campaign/perf worker threads
     std::string manifestPath;    //!< "" = no manifest
     bool json = false;           //!< machine-readable tables
+    unsigned repeat = 5;         //!< timed repetitions (median-of-N)
+    unsigned warmup = 1;         //!< untimed repetitions first
+    std::string perfOutPath;     //!< "" = the binary's default
 };
 
 /** The parsed flags (parseArgs fills them; defaults before that). */
@@ -107,10 +119,21 @@ parseArgs(int argc, char **argv)
             a.manifestPath = value();
         } else if (arg == "--json") {
             a.json = true;
+        } else if (arg == "--repeat") {
+            a.repeat = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+            if (a.repeat == 0)
+                a.repeat = 1;
+        } else if (arg == "--warmup") {
+            a.warmup = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--perf-out") {
+            a.perfOutPath = value();
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--manifest FILE]"
-                         " [--json]\n",
+                         " [--json] [--repeat N] [--warmup N]"
+                         " [--perf-out FILE]\n",
                          a.tool.c_str());
             std::exit(2);
         }
@@ -235,6 +258,32 @@ runAllCampaigns(const std::vector<DetectorSpec> &specs)
     }
     writeCampaignManifest(out);
     return out;
+}
+
+/**
+ * One wall-clock measurement: the median over `--repeat` timed
+ * repetitions (after `--warmup` untimed ones) of @p fn.  Medians shrug
+ * off the occasional scheduler hiccup that poisons means, which keeps
+ * BENCH_perf.json comparable across noisy CI machines.
+ * @return median seconds per repetition
+ */
+template <typename Fn>
+double
+timedMedianSec(Fn &&fn)
+{
+    using Clock = std::chrono::steady_clock;
+    for (unsigned i = 0; i < args().warmup; ++i)
+        fn();
+    std::vector<double> secs;
+    secs.reserve(args().repeat);
+    for (unsigned i = 0; i < args().repeat; ++i) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        secs.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    std::sort(secs.begin(), secs.end());
+    return secs[secs.size() / 2];
 }
 
 /** Average of a per-app metric (simple mean, as the paper's bars). */

@@ -28,8 +28,22 @@ CordDetector::CordDetector(const CordConfig &cfg, std::string name)
     for (ThreadId t = 0; t < cfg_.numThreads; ++t)
         writers_[t].begin(cfg_.recordOrder ? &log_ : nullptr, t, 1);
     lastTid_.assign(cfg_.numCores, kInvalidThread);
-    clockJumpHist_ = &stats_.histogramRef("cord.clockJumpMagnitude");
-    occupancyGauge_ = &stats_.gaugeRef("cord.historyOccupancy");
+    raceChecks_ = stats_.counter("cord.raceChecks");
+    dataRaces_ = stats_.counter("cord.dataRaces");
+    orderRaces_ = stats_.counter("cord.orderRaces");
+    memTsUpdates_ = stats_.counter("cord.memTsUpdates");
+    windowViolations_ = stats_.counter("cord.windowViolations");
+    coherenceInvalidations_ = stats_.counter("cord.coherenceInvalidations");
+    lineDisplacements_ = stats_.counter("cord.lineDisplacements");
+    entryDisplacements_ = stats_.counter("cord.entryDisplacements");
+    walkerEvictions_ = stats_.counter("cord.walkerEvictions");
+    migrationBumps_ = stats_.counter("cord.migrationBumps");
+    filteredChecks_ = stats_.counter("cord.filteredChecks");
+    memTsOrderUpdates_ = stats_.counter("cord.memTsOrderUpdates");
+    suppressedMemRaces_ = stats_.counter("cord.suppressedMemRaces");
+    memServedOrderUpdates_ = stats_.counter("cord.memServedOrderUpdates");
+    clockJumpHist_ = stats_.histogramHandle("cord.clockJumpMagnitude");
+    occupancyGauge_ = stats_.gaugeHandle("cord.historyOccupancy");
 }
 
 void
@@ -51,7 +65,7 @@ CordDetector::foldIntoMemTs(const LineState &ls, Tick now)
         }
     }
     if (changed) {
-        stats_.inc("cord.memTsUpdates");
+        memTsUpdates_.inc();
         if (sink_)
             sink_->memTsBroadcast(now);
     }
@@ -79,7 +93,7 @@ CordDetector::snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock)
             if (!e.valid)
                 continue;
             if (!withinWindow(clock, e.ts))
-                stats_.inc("cord.windowViolations");
+                windowViolations_.inc();
             const bool conflicts =
                 isWrite ? (((e.readBits | e.writeBits) & wbit) != 0)
                         : ((e.writeBits & wbit) != 0);
@@ -116,7 +130,7 @@ CordDetector::invalidateRemote(CoreId core, Addr addr, Tick now)
         const bool dropped = caches_[oc].invalidate(
             addr, [&](Addr, LineState &st) { foldIntoMemTs(st, now); });
         if (dropped) {
-            stats_.inc("cord.coherenceInvalidations");
+            coherenceInvalidations_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
                         kInvalidThread, oc, addr, 0);
@@ -134,7 +148,7 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
     LineState &ls = caches_[core].getOrInsert(
         addr, [&](Addr victimAddr, LineState &st) {
             foldIntoMemTs(st, now);
-            stats_.inc("cord.lineDisplacements");
+            lineDisplacements_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
                         kInvalidThread, core, victimAddr, 0);
@@ -162,7 +176,7 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
             LineState tmp;
             tmp.e[0] = ls.e[victim];
             foldIntoMemTs(tmp, now);
-            stats_.inc("cord.entryDisplacements");
+            entryDisplacements_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
                         kInvalidThread, core, addr, ls.e[victim].ts);
@@ -199,7 +213,7 @@ CordDetector::commitClockChange(OrderLogWriter &wr, Ts64 newClock,
     const Ts64 old = wr.clock();
     const std::size_t entriesBefore = log_.size();
     wr.changeClock(newClock, instrBoundary);
-    clockJumpHist_->add(newClock - old);
+    clockJumpHist_.observe(newClock - old);
     if (EventTracer *t = EventTracer::active()) {
         t->emit(TraceEventKind::ClockUpdate, ev.tick, ev.tid, ev.core,
                 newClock, old);
@@ -235,7 +249,7 @@ CordDetector::runWalker(Tick now)
         auto &cache = caches_[c];
         // The walker's periodic sweep doubles as the mid-run sampling
         // point for history-cache occupancy.
-        occupancyGauge_->add(static_cast<double>(cache.residentCount()));
+        occupancyGauge_.sample(static_cast<double>(cache.residentCount()));
         cache.forEach([&](Addr lineA, LineState &ls) {
             for (unsigned i = 0; i < cfg_.entriesPerLine; ++i) {
                 Entry &e = ls.e[i];
@@ -245,7 +259,7 @@ CordDetector::runWalker(Tick now)
                     LineState tmp;
                     tmp.e[0] = e;
                     foldIntoMemTs(tmp, now);
-                    stats_.inc("cord.walkerEvictions");
+                    walkerEvictions_.inc();
                     if (EventTracer *t = EventTracer::active())
                         t->emit(TraceEventKind::HistoryDisplacement,
                                 now, kInvalidThread, c, lineA, e.ts);
@@ -277,7 +291,7 @@ CordDetector::onAccess(const MemEvent &ev)
     if (lastTid_[ev.core] != ev.tid) {
         if (lastTid_[ev.core] != kInvalidThread && cfg_.migrationIncrement) {
             clock += cfg_.d;
-            stats_.inc("cord.migrationBumps");
+            migrationBumps_.inc();
         }
         lastTid_[ev.core] = ev.tid;
     }
@@ -291,7 +305,7 @@ CordDetector::onAccess(const MemEvent &ev)
         if (cfg_.checkFilterBits && !sync &&
             (isW ? local->filterW : local->filterR)) {
             needCheck = false;
-            stats_.inc("cord.filteredChecks");
+            filteredChecks_.inc();
         } else {
             for (unsigned i = 0; i < cfg_.entriesPerLine && needCheck;
                  ++i) {
@@ -307,7 +321,7 @@ CordDetector::onAccess(const MemEvent &ev)
     bool memServed = false;
     if (needCheck) {
         sr = snoop(ev.core, ev.addr, isW, clock);
-        stats_.inc("cord.raceChecks");
+        raceChecks_.inc();
         if (EventTracer *t = EventTracer::active())
             t->emit(TraceEventKind::HistoryLookup, ev.tick,
                     kInvalidThread, ev.core, ev.addr, isW);
@@ -323,7 +337,7 @@ CordDetector::onAccess(const MemEvent &ev)
         if (sr.haveConflict) {
             if (isOrderRace(newClock, sr.maxConflictTs)) {
                 newClock = sr.maxConflictTs + 1;
-                stats_.inc("cord.orderRaces");
+                orderRaces_.inc();
             }
             if (!sync) {
                 // Data race detection with margin D (Section 2.6).
@@ -334,7 +348,7 @@ CordDetector::onAccess(const MemEvent &ev)
                     if (!isSynchronized(clock, sr.conflictTs[i], cfg_.d)) {
                         report_.record({ev.tick, ev.addr, ev.tid, ev.kind,
                                         clock, sr.conflictTs[i]});
-                        stats_.inc("cord.dataRaces");
+                        dataRaces_.inc();
                         if (EventTracer *t = EventTracer::active())
                             t->emit(TraceEventKind::RaceReport, ev.tick,
                                     ev.tid, ev.core, ev.addr,
@@ -361,11 +375,11 @@ CordDetector::onAccess(const MemEvent &ev)
                 isW ? std::max(memReadTs_, memWriteTs_) : memWriteTs_;
             if (isOrderRace(newClock, tsMem)) {
                 newClock = tsMem + 1;
-                stats_.inc("cord.memTsOrderUpdates");
+                memTsOrderUpdates_.inc();
                 if (!sync)
-                    stats_.inc("cord.suppressedMemRaces");
+                    suppressedMemRaces_.inc();
                 if (memServed)
-                    stats_.inc("cord.memServedOrderUpdates");
+                    memServedOrderUpdates_.inc();
             }
             if (sync && !isW && memWriteTs_ + 1 > newClock)
                 newClock = memWriteTs_ + 1;

@@ -19,6 +19,7 @@
 #include "cord/history_cache.h"
 #include "cord/order_log.h"
 #include "mem/geometry.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 
 namespace cord
@@ -167,9 +168,25 @@ class CordDetector : public Detector
     Ts64 maxClockAtLastWalk_ = 0;
     Ts64 maxClock_ = 1;
 
-    /** Hot-path metrics resolved once at construction (stats.h). */
-    HistogramStat *clockJumpHist_ = nullptr;
-    GaugeStat *occupancyGauge_ = nullptr;
+    /** Hot-path metrics resolved once at construction (stats.h):
+     *  every per-access increment goes through a pre-registered handle
+     *  so the inner loop never pays a string-keyed map lookup. */
+    Counter raceChecks_;
+    Counter dataRaces_;
+    Counter orderRaces_;
+    Counter memTsUpdates_;
+    Counter windowViolations_;
+    Counter coherenceInvalidations_;
+    Counter lineDisplacements_;
+    Counter entryDisplacements_;
+    Counter walkerEvictions_;
+    Counter migrationBumps_;
+    Counter filteredChecks_;
+    Counter memTsOrderUpdates_;
+    Counter suppressedMemRaces_;
+    Counter memServedOrderUpdates_;
+    Histogram clockJumpHist_;
+    Gauge occupancyGauge_;
 };
 
 } // namespace cord

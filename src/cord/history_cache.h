@@ -5,21 +5,26 @@
  * The paper's configurations differ in *where* timestamps may live:
  * only for lines resident in the local L1 (L1Cache), in the local L2
  * (CORD default, L2Cache), or everywhere (Ideal, InfCache).  This class
- * wraps either a finite set-associative tag array or an unbounded map
- * behind one interface, invoking a callback whenever a line's history
- * is displaced (which is when CORD folds it into the main-memory
- * timestamps, Section 2.5).
+ * wraps either a finite set-associative tag array or an unbounded flat
+ * map behind one interface, invoking a callback whenever a line's
+ * history is displaced (which is when CORD folds it into the
+ * main-memory timestamps, Section 2.5).
+ *
+ * The eviction callback is a template parameter (not std::function):
+ * getOrInsert/invalidate are instantiated per call-site lambda, so the
+ * common hit path inlines completely with no indirect call or callable
+ * allocation.  Call sites that need no callback use the one-argument
+ * overloads.
  */
 
 #ifndef CORD_CORD_HISTORY_CACHE_H
 #define CORD_CORD_HISTORY_CACHE_H
 
-#include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "mem/cache_array.h"
 #include "mem/geometry.h"
+#include "sim/flat_map.h"
 #include "sim/types.h"
 
 namespace cord
@@ -28,16 +33,15 @@ namespace cord
 /**
  * Per-core history storage for one detector.
  *
- * Reference stability: in infinite mode the backing store is a
- * node-based std::unordered_map, so a StateT reference stays valid (and
- * keeps naming the same line) across later inserts and rehashes.  In
- * finite mode references point into the fixed tag array and are never
- * dangling, but the *slot* is recycled on eviction: any reference
- * obtained before a later getOrInsert may silently alias a different
- * line afterwards.  Callers must therefore not hold a returned
- * reference across a subsequent getOrInsert/invalidate on the same
- * cache (the no-hold-across-insert contract; regression-tested with
- * ASan in tests/history_cache_test.cpp).
+ * Reference stability: in both modes a returned StateT reference is
+ * only valid until the next getOrInsert or invalidate on the same
+ * cache.  Finite mode recycles tag-array slots on eviction (a stale
+ * reference silently aliases a different line); infinite mode stores
+ * state in dense vectors that reallocate on insert and swap on erase.
+ * Callers must therefore not hold a returned reference across a
+ * subsequent getOrInsert/invalidate (the no-hold-across-insert
+ * contract; regression-tested with ASan in
+ * tests/history_cache_test.cpp).
  *
  * @tparam StateT per-line detector state
  */
@@ -45,8 +49,6 @@ template <typename StateT>
 class HistoryCache
 {
   public:
-    using EvictFn = std::function<void(Addr, StateT &)>;
-
     /** Unbounded residency (Ideal / InfCache configurations). */
     HistoryCache() : infinite_(true) {}
 
@@ -64,10 +66,8 @@ class HistoryCache
     find(Addr a)
     {
         const Addr la = lineAddr(a);
-        if (infinite_) {
-            auto it = map_.find(la);
-            return it == map_.end() ? nullptr : &it->second;
-        }
+        if (infinite_)
+            return map_.find(la);
         auto *line = array_->find(la);
         return line ? &line->state : nullptr;
     }
@@ -75,15 +75,16 @@ class HistoryCache
     /**
      * Look up or allocate the line's state, updating recency.  When a
      * finite set overflows, the LRU victim's state is passed to
-     * @p onEvict before being discarded.
+     * @p onEvict (signature `void(Addr, StateT &)`) before being
+     * discarded.
      *
      * The returned reference is invalidated -- in the aliasing sense
      * described on the class -- by the next getOrInsert or invalidate
-     * call in finite mode; do not hold it across either.  Infinite
-     * mode guarantees full pointer stability.
+     * call; do not hold it across either.
      */
+    template <typename EvictFn>
     StateT &
-    getOrInsert(Addr a, const EvictFn &onEvict)
+    getOrInsert(Addr a, EvictFn &&onEvict)
     {
         const Addr la = lineAddr(a);
         if (infinite_)
@@ -92,9 +93,16 @@ class HistoryCache
             return line->state;
         std::optional<typename CacheArray<StateT>::Line> victim;
         auto &fresh = array_->insert(la, victim);
-        if (victim && onEvict)
+        if (victim)
             onEvict(victim->addr, victim->state);
         return fresh.state;
+    }
+
+    /** getOrInsert without an eviction callback. */
+    StateT &
+    getOrInsert(Addr a)
+    {
+        return getOrInsert(a, [](Addr, StateT &) {});
     }
 
     /**
@@ -102,36 +110,46 @@ class HistoryCache
      * state to @p onEvict first.
      * @return true when the line was resident.
      */
+    template <typename EvictFn>
     bool
-    invalidate(Addr a, const EvictFn &onEvict)
+    invalidate(Addr a, EvictFn &&onEvict)
     {
         const Addr la = lineAddr(a);
         if (infinite_) {
-            auto it = map_.find(la);
-            if (it == map_.end())
+            StateT *st = map_.find(la);
+            if (!st)
                 return false;
-            if (onEvict)
-                onEvict(la, it->second);
-            map_.erase(it);
+            onEvict(la, *st);
+            map_.erase(la);
             return true;
         }
         auto *line = array_->find(la);
         if (!line)
             return false;
-        if (onEvict)
-            onEvict(la, line->state);
+        onEvict(la, line->state);
         line->valid = false;
         return true;
     }
 
-    /** Visit every resident line's state (the CORD cache walker). */
+    /** invalidate without an eviction callback. */
+    bool
+    invalidate(Addr a)
+    {
+        return invalidate(a, [](Addr, StateT &) {});
+    }
+
+    /**
+     * Visit every resident line's state (the CORD cache walker).
+     * Infinite mode visits in insertion order (see sim/flat_map.h), so
+     * the walk is deterministic across platforms; @p fn must not
+     * insert into or erase from this cache.
+     */
     template <typename Fn>
     void
     forEach(Fn &&fn)
     {
         if (infinite_) {
-            for (auto &[addr, state] : map_)
-                fn(addr, state);
+            map_.forEach(fn);
         } else {
             array_->forEach([&](auto &line) { fn(line.addr, line.state); });
         }
@@ -146,7 +164,7 @@ class HistoryCache
   private:
     bool infinite_;
     std::optional<CacheArray<StateT>> array_;
-    std::unordered_map<Addr, StateT> map_;
+    FlatAddrMap<StateT> map_;
 };
 
 } // namespace cord

@@ -9,6 +9,7 @@ IdealDetector::IdealDetector(unsigned numThreads, std::string name)
     : Detector(std::move(name)), numThreads_(numThreads)
 {
     cord_assert(numThreads_ > 0, "Ideal needs at least one thread");
+    dataRaces_ = stats_.counter("ideal.dataRaces");
     vc_.reserve(numThreads_);
     for (ThreadId t = 0; t < numThreads_; ++t) {
         vc_.emplace_back(numThreads_);
@@ -63,13 +64,13 @@ IdealDetector::onAccess(const MemEvent &ev)
         const std::uint32_t we = h.lastWrite[u];
         if (we != 0 && tvc[u] < we) {
             report_.record({ev.tick, wa, ev.tid, ev.kind, 0, 0});
-            stats_.inc("ideal.dataRaces");
+            dataRaces_.inc();
         }
         if (ev.isWrite()) {
             const std::uint32_t re = h.lastRead[u];
             if (re != 0 && tvc[u] < re) {
                 report_.record({ev.tick, wa, ev.tid, ev.kind, 0, 0});
-                stats_.inc("ideal.dataRaces");
+                dataRaces_.inc();
             }
         }
     }

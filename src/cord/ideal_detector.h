@@ -24,6 +24,7 @@
 
 #include "cord/detector.h"
 #include "cord/vector_clock.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 
 namespace cord
@@ -55,6 +56,7 @@ class IdealDetector : public Detector
     WordHistory &history(Addr wordA);
 
     unsigned numThreads_;
+    Counter dataRaces_; //!< pre-registered hot-path handle (stats.h)
     std::vector<VectorClock> vc_;
     std::unordered_map<Addr, VectorClock> syncVc_; //!< per sync variable
     std::unordered_map<Addr, WordHistory> words_;

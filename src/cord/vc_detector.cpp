@@ -25,6 +25,11 @@ VcDetector::VcDetector(const VcConfig &cfg, std::string name)
         vc_.emplace_back(cfg_.numThreads);
         vc_.back().tick(t); // each thread starts at component 1
     }
+    dataRaces_ = stats_.counter("vc.dataRaces");
+    orderRaces_ = stats_.counter("vc.orderRaces");
+    lineDisplacements_ = stats_.counter("vc.lineDisplacements");
+    entryDisplacements_ = stats_.counter("vc.entryDisplacements");
+    memVcJoins_ = stats_.counter("vc.memVcJoins");
 }
 
 void
@@ -62,7 +67,7 @@ VcDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
     LineState &ls = caches_[core].getOrInsert(
         addr, [&](Addr, LineState &st) {
             foldIntoMemVc(st);
-            stats_.inc("vc.lineDisplacements");
+            lineDisplacements_.inc();
         });
     Entry *slot = nullptr;
     for (unsigned i = 0; i < cfg_.entriesPerLine; ++i) {
@@ -83,7 +88,7 @@ VcDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
             LineState tmp;
             tmp.e[0] = ls.e[victim];
             foldIntoMemVc(tmp);
-            stats_.inc("vc.entryDisplacements");
+            entryDisplacements_.inc();
         }
         ls.e[victim] = Entry{};
         ls.e[victim].valid = true;
@@ -134,11 +139,11 @@ VcDetector::onAccess(const MemEvent &ev)
                 if (!sync) {
                     report_.record(
                         {ev.tick, ev.addr, ev.tid, ev.kind, 0, 0});
-                    stats_.inc("vc.dataRaces");
+                    dataRaces_.inc();
                 } else {
                     tvc.join(e.vc);
                 }
-                stats_.inc("vc.orderRaces");
+                orderRaces_.inc();
             }
             if (sync && !isW && (e.writeBits & wbit) != 0) {
                 // Sync read acquires the writer's ordering.
@@ -152,11 +157,11 @@ VcDetector::onAccess(const MemEvent &ev)
     if (!localHit && !anyRemoteLine && cfg_.memTimestamps) {
         if (!memWriteVc_.lessEq(tvc)) {
             tvc.join(memWriteVc_);
-            stats_.inc("vc.memVcJoins");
+            memVcJoins_.inc();
         }
         if (isW && !memReadVc_.lessEq(tvc)) {
             tvc.join(memReadVc_);
-            stats_.inc("vc.memVcJoins");
+            memVcJoins_.inc();
         }
     }
 

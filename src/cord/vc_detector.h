@@ -23,6 +23,7 @@
 #include "cord/history_cache.h"
 #include "cord/vector_clock.h"
 #include "mem/geometry.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 
 namespace cord
@@ -83,6 +84,13 @@ class VcDetector : public Detector
     VectorClock memReadVc_;
     VectorClock memWriteVc_;
     std::uint64_t seq_ = 0;
+
+    /** Hot-path metrics resolved once at construction (stats.h). */
+    Counter dataRaces_;
+    Counter orderRaces_;
+    Counter lineDisplacements_;
+    Counter entryDisplacements_;
+    Counter memVcJoins_;
 };
 
 } // namespace cord

@@ -108,7 +108,9 @@ Simulation::coreStep(CoreId c)
     const std::size_t n = core.threads.size();
     for (std::size_t probe = 0; probe < n; ++probe) {
         Thread &t = *threads_[core.threads[core.rr]];
-        core.rr = static_cast<unsigned>((core.rr + 1) % n);
+        // Compare-and-wrap instead of % n: this runs once per core
+        // wake-up and the hardware divide was visible in profiles.
+        core.rr = (core.rr + 1 < n) ? core.rr + 1 : 0;
         if (t.finished || t.waiting || t.blocked || !t.spawned)
             continue;
         if (runThread(t))

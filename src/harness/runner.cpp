@@ -49,6 +49,7 @@ runWorkload(const RunSetup &setup)
         sim.run(setup.maxTicks == 0 ? kMaxTick : setup.maxTicks);
     out.ticks = sim.events().now();
     out.accesses = sim.committedAccesses();
+    out.events = sim.events().executedEvents();
     out.syncCensus = rt.perThreadInstances();
     out.syncCensus.resize(setup.params.numThreads, 0);
     out.lockInstances = rt.lockInstances();
@@ -64,6 +65,7 @@ runWorkload(const RunSetup &setup)
 
     out.stats.set("sim.ticks", out.ticks);
     out.stats.set("sim.committedAccesses", out.accesses);
+    out.stats.set("sim.eventsExecuted", out.events);
     out.stats.set("sim.footprintWords", out.footprintWords);
     out.stats.set("sim.syncInstances.lock", out.lockInstances);
     out.stats.set("sim.syncInstances.flag", out.flagInstances);

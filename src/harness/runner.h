@@ -66,6 +66,7 @@ struct RunOutcome
     bool completed = false; //!< false = watchdog fired (hang)
     Tick ticks = 0;
     std::uint64_t accesses = 0;
+    std::uint64_t events = 0; //!< kernel events executed (host work)
 
     /** Removable sync instances per thread (injection census). */
     std::vector<std::uint64_t> syncCensus;

@@ -11,6 +11,7 @@
 #ifndef CORD_MEM_CACHE_ARRAY_H
 #define CORD_MEM_CACHE_ARRAY_H
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -43,6 +44,18 @@ class CacheArray
     explicit CacheArray(const CacheGeometry &geo)
         : geo_(geo), lines_(geo.numSets() * geo.ways)
     {
+        // Set indexing runs on every lookup of every cache model;
+        // precompute shift/mask instead of dividing when the geometry
+        // allows it (validate() enforces power-of-two sets, and every
+        // real configuration uses a power-of-two line size too).
+        const std::uint32_t sets = geo.numSets();
+        fastIndex_ = std::has_single_bit(sets) &&
+                     std::has_single_bit(geo.lineBytes);
+        if (fastIndex_) {
+            lineShift_ = static_cast<unsigned>(
+                std::countr_zero(geo.lineBytes));
+            setMask_ = sets - 1;
+        }
     }
 
     const CacheGeometry &geometry() const { return geo_; }
@@ -148,14 +161,19 @@ class CacheArray
     setRange(Addr la) const
     {
         const std::size_t set =
-            static_cast<std::size_t>((la / geo_.lineBytes) %
-                                     geo_.numSets());
+            fastIndex_
+                ? static_cast<std::size_t>((la >> lineShift_) & setMask_)
+                : static_cast<std::size_t>((la / geo_.lineBytes) %
+                                           geo_.numSets());
         return {set * geo_.ways, (set + 1) * geo_.ways};
     }
 
     CacheGeometry geo_;
     std::vector<Line> lines_;
     std::uint64_t lruClock_ = 0;
+    bool fastIndex_ = false;
+    unsigned lineShift_ = 0;
+    std::uint64_t setMask_ = 0;
 };
 
 } // namespace cord

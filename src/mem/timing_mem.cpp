@@ -112,7 +112,7 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
     // directory at the memory controller.
     const Tick resolved =
         directory ? grant + cfg_.directoryLatency : grant;
-    std::vector<CoreId> holders;
+    std::vector<CoreId> &holders = holdersScratch_;
     const bool snoopHit = remoteHolders(core, line, holders);
 
     Tick done;

@@ -121,6 +121,9 @@ class TimingMemSystem
     std::vector<CacheArray<L2State>> l2_;
     std::vector<CacheArray<char>> l1_;
     std::uint64_t serviceCounts_[4] = {0, 0, 0, 0};
+    /** Scratch for remoteHolders: reused across calls so the per-miss
+     *  snoop never allocates (bounded by numCores). */
+    mutable std::vector<CoreId> holdersScratch_;
 };
 
 } // namespace cord

@@ -55,9 +55,13 @@ RunManifest::renderJson(bool includeVolatile) const
     if (!workload.empty())
         w.field("workload", workload);
     w.field("seed", seed);
-    w.field("git", buildGitHash());
-    w.field("build", buildType());
     if (includeVolatile) {
+        // Build stamps are volatile too: the git hash moves with every
+        // commit and the build type with the configuration, and neither
+        // describes the simulated result, so byte-golden renders
+        // (determinism tests) must not hash them.
+        w.field("git", buildGitHash());
+        w.field("build", buildType());
         if (!timestamp.empty())
             w.field("timestamp", timestamp);
         w.field("wallSeconds", wallSeconds);

@@ -11,9 +11,11 @@
  * compared across PRs (docs/OBSERVABILITY.md documents the schema).
  *
  * Serialization is deterministic for a fixed seed: all maps are
- * sorted and the two volatile fields (timestamp, wallSeconds) can be
- * suppressed (includeVolatile = false) so tests can require
- * byte-identical output across runs.
+ * sorted and the volatile fields (git/build stamp, timestamp,
+ * wallSeconds -- everything describing the host build or wall clock
+ * rather than the simulated result) can be suppressed
+ * (includeVolatile = false) so tests can require byte-identical
+ * output across runs, commits, and build configurations.
  */
 
 #ifndef CORD_OBS_MANIFEST_H
@@ -91,7 +93,8 @@ struct RunManifest
 
     /**
      * Render the manifest as pretty-printed JSON.
-     * @param includeVolatile include timestamp/wallSeconds
+     * @param includeVolatile include git/build stamp, timestamp,
+     *        and wallSeconds
      */
     std::string renderJson(bool includeVolatile = true) const;
 

@@ -5,18 +5,79 @@
  * loads and stores read and update this single store at their commit
  * tick; the commit order defined by the event queue is the machine's
  * memory order.
+ *
+ * Storage is page-granular: words live in dense 512-word pages indexed
+ * by a flat page table (sim/flat_map.h), with a one-entry MRU cache in
+ * front.  Workload accesses are heavily page-local, so the common load
+ * or store is a compare plus an array index -- no per-word hash-map
+ * node, probe, or allocation as in the previous per-word
+ * unordered_map.  A per-page written bitmap keeps footprintWords()
+ * exact (a page allocated by one store does not count its 511 untouched
+ * words).
  */
 
 #ifndef CORD_RUNTIME_VALUE_STORE_H
 #define CORD_RUNTIME_VALUE_STORE_H
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "sim/flat_map.h"
 #include "sim/types.h"
+
+#ifdef CORD_LEGACY_KERNEL
+#include <unordered_map>
+#endif
 
 namespace cord
 {
+
+#ifdef CORD_LEGACY_KERNEL
+
+/** Legacy perf-reference implementation: one unordered_map node per
+ *  word, as before the page rewrite (see CMakeLists.txt
+ *  CORD_LEGACY_KERNEL).  forEachWord visits in hash order. */
+class ValueStore
+{
+  public:
+    std::uint64_t
+    load(Addr a) const
+    {
+        auto it = mem_.find(wordAddr(a));
+        return it == mem_.end() ? 0 : it->second;
+    }
+
+    void store(Addr a, std::uint64_t v) { mem_[wordAddr(a)] = v; }
+
+    std::pair<std::uint64_t, bool>
+    compareAndSwap(Addr a, std::uint64_t expected, std::uint64_t desired)
+    {
+        const std::uint64_t old = load(a);
+        if (old == expected) {
+            store(a, desired);
+            return {old, true};
+        }
+        return {old, false};
+    }
+
+    std::size_t footprintWords() const { return mem_.size(); }
+
+    void clear() { mem_.clear(); }
+
+    template <typename Fn>
+    void
+    forEachWord(Fn &&fn) const
+    {
+        for (const auto &[a, v] : mem_)
+            fn(a, v);
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> mem_;
+};
+
+#else
 
 /** Word-granularity functional memory, zero-initialized. */
 class ValueStore
@@ -25,14 +86,24 @@ class ValueStore
     std::uint64_t
     load(Addr a) const
     {
-        auto it = words_.find(wordAddr(a));
-        return it == words_.end() ? 0 : it->second;
+        const std::uint64_t w = wordIndex(a);
+        const Page *p = pageOf(w / kPageWords);
+        return p ? p->words[w % kPageWords] : 0;
     }
 
     void
     store(Addr a, std::uint64_t v)
     {
-        words_[wordAddr(a)] = v;
+        const std::uint64_t w = wordIndex(a);
+        Page &p = ensurePage(w / kPageWords);
+        const std::size_t off = w % kPageWords;
+        std::uint64_t &bits = p.written[off >> 6];
+        const std::uint64_t bit = std::uint64_t(1) << (off & 63);
+        if ((bits & bit) == 0) {
+            bits |= bit;
+            ++wordCount_;
+        }
+        p.words[off] = v;
     }
 
     /** Atomic compare-and-swap at commit time.
@@ -48,19 +119,93 @@ class ValueStore
         return {old, false};
     }
 
-    std::size_t footprintWords() const { return words_.size(); }
+    /** Number of distinct words ever stored to. */
+    std::size_t footprintWords() const { return wordCount_; }
 
-    void clear() { words_.clear(); }
-
-    /** Iterate all written words (final-state comparison in replay). */
-    const std::unordered_map<Addr, std::uint64_t> &raw() const
+    void
+    clear()
     {
-        return words_;
+        pages_.clear();
+        pageIndex_.clear();
+        wordCount_ = 0;
+        mruPid_ = 0;
+        mruIdx_ = 0;
+    }
+
+    /**
+     * Visit every written word as (word address, value), e.g. for
+     * final-state comparison in replay.  Visit order is page insertion
+     * order, word order within a page -- deterministic for a given
+     * access history, but not sorted by address.
+     */
+    template <typename Fn>
+    void
+    forEachWord(Fn &&fn) const
+    {
+        pageIndex_.forEach([&](Addr pid, const std::uint32_t &idx) {
+            const Page &p = pages_[idx];
+            for (std::size_t off = 0; off < kPageWords; ++off) {
+                if (p.written[off >> 6] &
+                    (std::uint64_t(1) << (off & 63)))
+                    fn(static_cast<Addr>((pid * kPageWords + off) *
+                                         kWordBytes),
+                       p.words[off]);
+            }
+        });
     }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> words_;
+    static constexpr std::size_t kPageWords = 512; //!< 2KB of words
+
+    struct Page
+    {
+        std::uint64_t words[kPageWords] = {};
+        std::uint64_t written[kPageWords / 64] = {};
+    };
+
+    static std::uint64_t
+    wordIndex(Addr a)
+    {
+        return wordAddr(a) / kWordBytes;
+    }
+
+    /** Resident page @p pid, or nullptr.  Refreshes the MRU entry
+     *  (dense *index*, not a pointer: pages_ may reallocate later). */
+    const Page *
+    pageOf(std::uint64_t pid) const
+    {
+        if (mruPid_ == pid + 1)
+            return &pages_[mruIdx_];
+        const std::uint32_t *idx = pageIndex_.find(pid);
+        if (!idx)
+            return nullptr;
+        mruPid_ = pid + 1;
+        mruIdx_ = *idx;
+        return &pages_[*idx];
+    }
+
+    Page &
+    ensurePage(std::uint64_t pid)
+    {
+        if (const Page *p = pageOf(pid))
+            return const_cast<Page &>(*p);
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(pages_.size());
+        pages_.emplace_back();
+        pageIndex_[pid] = idx;
+        mruPid_ = pid + 1;
+        mruIdx_ = idx;
+        return pages_.back();
+    }
+
+    std::vector<Page> pages_;
+    FlatAddrMap<std::uint32_t> pageIndex_;
+    std::size_t wordCount_ = 0;
+    mutable std::uint64_t mruPid_ = 0; //!< pid + 1; 0 = invalid
+    mutable std::uint32_t mruIdx_ = 0;
 };
+
+#endif // CORD_LEGACY_KERNEL
 
 } // namespace cord
 

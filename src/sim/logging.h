@@ -64,8 +64,25 @@ format(Args &&...args)
 #define cord_inform(...) \
     ::cord::detail::informImpl(::cord::detail::format(__VA_ARGS__))
 
-/** Internal invariant check; always on (simulation speed is not gated
- *  by these checks in our experiments). */
+/**
+ * Internal invariant check.
+ *
+ * Compile-time gated by CORD_ASSERT_LEVEL (a CMake cache variable of
+ * the same name): level >= 1 (the default) checks every invariant;
+ * level 0 compiles checks out entirely so hot-loop asserts like the
+ * event queue's `when >= now_` are free in benchmark builds
+ * (configure with -DCORD_ASSERT_LEVEL=0, as CI's perf-smoke job does).
+ * The default stays ON in every build type -- including
+ * RelWithDebInfo, which defines NDEBUG -- because correctness CI
+ * (Debug/ASan/TSan and the death tests in tests/) relies on it.
+ * Disabled asserts still type-check their arguments (dead branch), so
+ * they cannot rot, and never evaluate them at runtime.
+ */
+#ifndef CORD_ASSERT_LEVEL
+#define CORD_ASSERT_LEVEL 1
+#endif
+
+#if CORD_ASSERT_LEVEL >= 1
 #define cord_assert(cond, ...) \
     do { \
         if (!(cond)) { \
@@ -74,6 +91,15 @@ format(Args &&...args)
                                        ##__VA_ARGS__)); \
         } \
     } while (0)
+#else
+#define cord_assert(cond, ...) \
+    do { \
+        if (false) { \
+            (void)!(cond); \
+            (void)::cord::detail::format(__VA_ARGS__); \
+        } \
+    } while (0)
+#endif
 
 } // namespace cord
 

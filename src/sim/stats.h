@@ -110,10 +110,101 @@ struct HistogramStat
     }
 };
 
+class StatRegistry;
+
+/**
+ * Pre-registered counter handle: the name is resolved to a map node
+ * once (StatRegistry::counter()), after which inc() is a plain
+ * uint64_t add with no string hashing or tree walk.  Handles stay
+ * valid until StatRegistry::clear() -- std::map nodes never move.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p delta; the handle must be bound (counter()). */
+    void inc(std::uint64_t delta = 1) { *v_ += delta; }
+
+    /** Overwrite with an absolute value. */
+    void set(std::uint64_t value) { *v_ = value; }
+
+    /** Current value. */
+    std::uint64_t value() const { return *v_; }
+
+    /** True when bound to a registry slot. */
+    explicit operator bool() const { return v_ != nullptr; }
+
+  private:
+    friend class StatRegistry;
+    explicit Counter(std::uint64_t *v) : v_(v) {}
+    std::uint64_t *v_ = nullptr;
+};
+
+/** Pre-registered gauge handle (see Counter). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    void sample(double v) { g_->add(v); }
+    const GaugeStat &stat() const { return *g_; }
+    explicit operator bool() const { return g_ != nullptr; }
+
+  private:
+    friend class StatRegistry;
+    explicit Gauge(GaugeStat *g) : g_(g) {}
+    GaugeStat *g_ = nullptr;
+};
+
+/** Pre-registered histogram handle (see Counter). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    void observe(std::uint64_t v) { h_->add(v); }
+    const HistogramStat &stat() const { return *h_; }
+    explicit operator bool() const { return h_ != nullptr; }
+
+  private:
+    friend class StatRegistry;
+    explicit Histogram(HistogramStat *h) : h_(h) {}
+    HistogramStat *h_ = nullptr;
+};
+
 /** A registry of named statistics (counters, gauges, histograms). */
 class StatRegistry
 {
   public:
+    /// @{ @name Pre-registered handles (hot-path API)
+
+    /**
+     * Bind a counter handle, creating the counter at zero.  Resolve
+     * names once at construction time; per-event code then increments
+     * through the handle.  Note this materializes the counter in
+     * all()/exports even if never incremented, which is intentional:
+     * a run that detects nothing still reports "cord.dataRaces": 0.
+     */
+    Counter
+    counter(const std::string &name)
+    {
+        return Counter(&counters_[name]);
+    }
+
+    /** Bind a gauge handle (creates an empty gauge). */
+    Gauge
+    gaugeHandle(const std::string &name)
+    {
+        return Gauge(&gauges_[name]);
+    }
+
+    /** Bind a histogram handle (creates an empty histogram). */
+    Histogram
+    histogramHandle(const std::string &name)
+    {
+        return Histogram(&histograms_[name]);
+    }
+    /// @}
+
     /// @{ @name Counters
 
     /** Add @p delta to counter @p name (creating it at zero). */

@@ -57,21 +57,22 @@ TEST(HistoryCache, GetOrInsertIsStable)
     EXPECT_EQ(c.find(0x1008)->value, 7);
 }
 
-TEST(HistoryCache, InfiniteReferencesStableAcrossRehash)
+TEST(HistoryCache, InfiniteSurvivesRehashAndKeepsValues)
 {
-    // Infinite mode backs onto a node-based std::unordered_map, so a
-    // held reference stays valid across later inserts and rehashes.
-    // Under ASan this doubles as a use-after-free regression test for
-    // the pointer-stability claim in history_cache.h.
+    // Infinite mode stores state in dense vectors behind a flat hash
+    // index (sim/flat_map.h): references are NOT stable across later
+    // inserts (the no-hold-across-insert contract applies in both
+    // modes), but every line's state must survive arbitrary growth and
+    // rehashing intact.
     HistoryCache<State> c;
-    State &held = c.getOrInsert(0, nullptr);
-    held.value = 7;
+    c.getOrInsert(0).value = 7;
     for (unsigned i = 1; i < 20000; ++i) // force many rehashes
-        c.getOrInsert(i * kLineBytes, nullptr);
-    held.value = 42; // write through the old reference
+        c.getOrInsert(i * kLineBytes).value = static_cast<int>(i);
     ASSERT_NE(c.find(0), nullptr);
-    EXPECT_EQ(c.find(0), &held);
-    EXPECT_EQ(c.find(0)->value, 42);
+    EXPECT_EQ(c.find(0)->value, 7);
+    ASSERT_NE(c.find(12345 * kLineBytes), nullptr);
+    EXPECT_EQ(c.find(12345 * kLineBytes)->value, 12345);
+    EXPECT_EQ(c.residentCount(), 20000u);
 }
 
 TEST(HistoryCache, FiniteEvictionRecyclesTheSlot)
@@ -82,11 +83,11 @@ TEST(HistoryCache, FiniteEvictionRecyclesTheSlot)
     // documented in history_cache.h -- a stale reference silently
     // aliases the replacement line's state.
     HistoryCache<State> c(CacheGeometry{128, 64, 2}); // one set, 2 ways
-    State &first = c.getOrInsert(0 * kLineBytes, nullptr);
+    State &first = c.getOrInsert(0 * kLineBytes);
     first.value = 11;
-    c.getOrInsert(1 * kLineBytes, nullptr).value = 22;
+    c.getOrInsert(1 * kLineBytes).value = 22;
     // A third distinct line evicts LRU line 0 and recycles its slot.
-    State &third = c.getOrInsert(2 * kLineBytes, nullptr);
+    State &third = c.getOrInsert(2 * kLineBytes);
     EXPECT_EQ(&first, &third); // same storage, different line now
     EXPECT_EQ(first.value, 0); // state was reset for the new line
     EXPECT_EQ(c.find(0 * kLineBytes), nullptr);
@@ -97,7 +98,7 @@ TEST(HistoryCache, InvalidateRunsCallbackOnce)
     HistoryCache<State> c(CacheGeometry{512, 64, 2});
     int folds = 0;
     auto fold = [&](Addr, State &) { ++folds; };
-    c.getOrInsert(0x2000, nullptr);
+    c.getOrInsert(0x2000);
     EXPECT_TRUE(c.invalidate(0x2000, fold));
     EXPECT_EQ(folds, 1);
     EXPECT_FALSE(c.invalidate(0x2000, fold));
@@ -109,7 +110,7 @@ TEST(HistoryCache, InfiniteInvalidate)
 {
     HistoryCache<State> c;
     int folds = 0;
-    c.getOrInsert(0x2000, nullptr).value = 3;
+    c.getOrInsert(0x2000).value = 3;
     EXPECT_TRUE(c.invalidate(0x2004, [&](Addr, State &s) {
         folds += s.value;
     }));
@@ -121,7 +122,7 @@ TEST(HistoryCache, ForEachVisitsAll)
 {
     HistoryCache<State> c(CacheGeometry{512, 64, 2});
     for (unsigned i = 0; i < 4; ++i)
-        c.getOrInsert(i * kLineBytes, nullptr).value = static_cast<int>(i);
+        c.getOrInsert(i * kLineBytes).value = static_cast<int>(i);
     int sum = 0;
     c.forEach([&](Addr, State &s) { sum += s.value; });
     EXPECT_EQ(sum, 0 + 1 + 2 + 3);

@@ -375,6 +375,62 @@ TEST(Gauge, MinMaxMean)
     EXPECT_DOUBLE_EQ(g.mean(), 2.0);
 }
 
+TEST(StatRegistry, HandlesShareSlotsWithNamedApi)
+{
+    // Pre-registered handles (the hot-path API) and the string-keyed
+    // calls must address the same slots, so exports and merges see one
+    // value regardless of which API incremented it.
+    StatRegistry r;
+    Counter c = r.counter("cord.raceChecks");
+    EXPECT_TRUE(static_cast<bool>(c));
+    EXPECT_EQ(c.value(), 0u);
+    // Binding materializes the counter at zero in exports.
+    EXPECT_TRUE(r.has("cord.raceChecks"));
+
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(r.get("cord.raceChecks"), 5u);
+    r.inc("cord.raceChecks", 10);
+    EXPECT_EQ(c.value(), 15u);
+    c.set(3);
+    EXPECT_EQ(r.get("cord.raceChecks"), 3u);
+
+    Gauge g = r.gaugeHandle("occ");
+    g.sample(2.0);
+    g.sample(4.0);
+    EXPECT_EQ(r.gauge("occ").count, 2u);
+    EXPECT_DOUBLE_EQ(g.stat().mean(), 3.0);
+
+    Histogram h = r.histogramHandle("jump");
+    h.observe(0);
+    h.observe(16);
+    EXPECT_EQ(r.histogram("jump").count, 2u);
+    EXPECT_EQ(h.stat().max, 16u);
+}
+
+TEST(StatRegistry, HandlesStayValidAcrossOtherInsertions)
+{
+    // std::map nodes never move: a handle bound early must survive
+    // arbitrarily many later registrations (detectors bind all their
+    // handles in the constructor, workloads register stats afterwards).
+    StatRegistry r;
+    Counter c = r.counter("a.first");
+    for (int i = 0; i < 1000; ++i)
+        r.inc("pad." + std::to_string(i));
+    c.inc(7);
+    EXPECT_EQ(r.get("a.first"), 7u);
+}
+
+TEST(StatRegistry, DefaultHandleIsUnbound)
+{
+    Counter c;
+    Gauge g;
+    Histogram h;
+    EXPECT_FALSE(static_cast<bool>(c));
+    EXPECT_FALSE(static_cast<bool>(g));
+    EXPECT_FALSE(static_cast<bool>(h));
+}
+
 TEST(StatRegistry, MergeWithPrefix)
 {
     StatRegistry a, b;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "runtime/address_space.h"
 #include "runtime/value_store.h"
 
@@ -57,6 +59,77 @@ TEST(ValueStore, ClearResets)
     vs.clear();
     EXPECT_EQ(vs.load(0x100), 0u);
     EXPECT_EQ(vs.footprintWords(), 0u);
+}
+
+TEST(ValueStore, PageBoundaryNeighborsAreIndependent)
+{
+    // A page holds 512 words = 2048 bytes; the last word of page 0 and
+    // the first word of page 1 must hit different pages yet behave
+    // like any other pair of neighbors.
+    ValueStore vs;
+    const Addr lastOfPage0 = 2048 - kWordBytes;
+    const Addr firstOfPage1 = 2048;
+    vs.store(lastOfPage0, 11);
+    vs.store(firstOfPage1, 22);
+    EXPECT_EQ(vs.load(lastOfPage0), 11u);
+    EXPECT_EQ(vs.load(firstOfPage1), 22u);
+    EXPECT_EQ(vs.footprintWords(), 2u);
+}
+
+TEST(ValueStore, SparsePagesCountOnlyWrittenWords)
+{
+    // One store per page, pages far apart: a page allocated by one
+    // store must not count its untouched words in the footprint.
+    ValueStore vs;
+    for (Addr page = 0; page < 64; ++page)
+        vs.store(page * 1048576, page + 1);
+    EXPECT_EQ(vs.footprintWords(), 64u);
+    for (Addr page = 0; page < 64; ++page)
+        EXPECT_EQ(vs.load(page * 1048576), page + 1);
+    // Untouched words on an allocated page still read zero.
+    EXPECT_EQ(vs.load(kWordBytes), 0u);
+}
+
+TEST(ValueStore, InterleavedPageAccessThrashesMru)
+{
+    // Alternate between two distant pages so every access misses the
+    // one-entry MRU cache; values must be unaffected.
+    ValueStore vs;
+    const Addr a = 0x1000, b = 0x800000;
+    for (int i = 0; i < 100; ++i) {
+        vs.store(a, i);
+        vs.store(b, i + 1000);
+    }
+    EXPECT_EQ(vs.load(a), 99u);
+    EXPECT_EQ(vs.load(b), 1099u);
+    EXPECT_EQ(vs.footprintWords(), 2u);
+}
+
+TEST(ValueStore, ForEachWordVisitsExactlyWrittenWords)
+{
+    ValueStore vs;
+    vs.store(0, 1);
+    vs.store(8, 2);
+    vs.store(4096, 3); // different page
+    std::map<Addr, std::uint64_t> seen;
+    vs.forEachWord([&](Addr a, std::uint64_t v) {
+        EXPECT_TRUE(seen.emplace(a, v).second) << "duplicate visit";
+    });
+    const std::map<Addr, std::uint64_t> want{{0, 1}, {8, 2}, {4096, 3}};
+    EXPECT_EQ(seen, want);
+}
+
+TEST(ValueStore, ManyPagesSurviveIndexRehash)
+{
+    // Enough distinct pages to force the flat page table through
+    // several growth steps while pages_ itself reallocates.
+    ValueStore vs;
+    constexpr Addr kPages = 3000;
+    for (Addr p = 0; p < kPages; ++p)
+        vs.store(p * 2048, p ^ 0xABCD);
+    for (Addr p = 0; p < kPages; ++p)
+        EXPECT_EQ(vs.load(p * 2048), p ^ 0xABCD) << "page " << p;
+    EXPECT_EQ(vs.footprintWords(), kPages);
 }
 
 TEST(AddressSpace, SharedAllocationIsContiguous)
