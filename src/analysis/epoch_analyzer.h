@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FastTrack-style epoch-compressed happens-before analysis.
+ *
+ * `analyzeEpochCompressed` computes the exact same result as
+ * `HbAnalysis::analyze` -- same racing pairs in the same order, same
+ * racy-word and endpoint sets, same thread-count resolution -- but
+ * replaces the full vector-clock word histories with adaptively
+ * compressed per-word state:
+ *
+ *  - words only one thread ever touched keep two Epochs (cord/
+ *    vector_clock.h) and are checked/updated in O(1) -- the FastTrack
+ *    read/write-same-epoch fast path, which covers the overwhelming
+ *    majority of accesses in the SPLASH-style workloads;
+ *  - words that become shared are promoted to pooled per-thread
+ *    epoch arrays guarded by accessor bitmasks, so race checks scan
+ *    only threads that actually touched the word instead of all N;
+ *  - word lookup uses the open-addressing FlatAddrMap instead of one
+ *    heap allocation (four vectors) per word.
+ *
+ * CI's bench_predict job asserts this analyzer stays >= 2x faster
+ * than the full-vector HbAnalysis on access-dense apps while
+ * producing an identical race set (tests/predict_test.cpp proves the
+ * equivalence field by field).
+ */
+
+#ifndef CORD_ANALYSIS_EPOCH_ANALYZER_H
+#define CORD_ANALYSIS_EPOCH_ANALYZER_H
+
+#include "analysis/hb_analyzer.h"
+#include "harness/trace.h"
+
+namespace cord
+{
+
+/**
+ * Epoch-compressed recomputation of the full happens-before race set.
+ * Result-identical to HbAnalysis::analyze(trace, numThreads); see the
+ * file comment for why it is much faster.
+ */
+HbAnalysis analyzeEpochCompressed(const DecodedTrace &trace,
+                                  unsigned numThreads = 0);
+
+} // namespace cord
+
+#endif // CORD_ANALYSIS_EPOCH_ANALYZER_H

@@ -23,11 +23,23 @@ HbAnalysis::threadsInTrace(const DecodedTrace &trace)
     return any ? maxTid + 1 : 0;
 }
 
+unsigned
+HbAnalysis::resolveThreads(const DecodedTrace &trace, unsigned declared)
+{
+    // Never trust a declared count smaller than what the trace uses:
+    // indexing per-thread state by an out-of-range ThreadId would be
+    // UB-adjacent with asserts compiled out (CORD_ASSERT_LEVEL=0), and
+    // a hostile header must not crash an offline analyzer.
+    const unsigned derived = threadsInTrace(trace);
+    return std::max(declared, derived);
+}
+
 HbAnalysis
 HbAnalysis::analyze(const DecodedTrace &trace, unsigned numThreads)
 {
     HbAnalysis a;
-    a.numThreads_ = numThreads ? numThreads : threadsInTrace(trace);
+    a.declaredThreads_ = numThreads;
+    a.numThreads_ = resolveThreads(trace, numThreads);
     if (a.numThreads_ == 0)
         return a;
     const unsigned n = a.numThreads_;

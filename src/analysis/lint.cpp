@@ -1,6 +1,9 @@
 #include "analysis/lint.h"
 
 #include <optional>
+#include <sstream>
+
+#include "analysis/epoch_analyzer.h"
 
 namespace cord
 {
@@ -36,12 +39,22 @@ runLint(const LintInput &in)
     }
 
     if (in.trace) {
+        // Same race set as HbAnalysis::analyze, but epoch-compressed
+        // (analysis/epoch_analyzer.h) -- lint runs on every artifact.
         const HbAnalysis hb =
-            HbAnalysis::analyze(*in.trace, opt.numThreads);
+            analyzeEpochCompressed(*in.trace, opt.numThreads);
         report.setMetric("trace.events",
                          static_cast<double>(in.trace->events.size()));
         report.setMetric("trace.threads",
                          static_cast<double>(hb.numThreads()));
+        if (hb.threadCountOverridden()) {
+            std::ostringstream os;
+            os << "trace uses thread IDs beyond the declared count ("
+               << hb.declaredThreads() << " declared, "
+               << hb.numThreads()
+               << " required); analysis used the derived count";
+            report.warning("trace.threads", os.str());
+        }
         if (in.audit)
             auditCoverage(*in.trace, hb, in.cordConfig, report);
         if (in.onlineReport)

@@ -1,0 +1,90 @@
+#include "analysis/xval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cord
+{
+
+XvalResult
+runXval(const XvalSpec &spec)
+{
+    ExploreSpec es = spec.explore;
+    es.recordTrace = true;
+    const ExploreResult ex = exploreSchedules(es);
+
+    XvalResult r;
+    r.schedules = static_cast<unsigned>(ex.runs.size());
+    r.completed = ex.completedRuns;
+    for (const ScheduleRun &run : ex.runs) {
+        if (!run.completed)
+            continue;
+        r.manifestedWords.insert(run.idealRacyWords.begin(),
+                                 run.idealRacyWords.end());
+    }
+
+    const ScheduleRun &base = ex.runs.front();
+    r.baselineCompleted = base.completed && base.trace != nullptr;
+    if (r.baselineCompleted) {
+        const PredictiveAnalysis pred = PredictiveAnalysis::analyze(
+            *base.trace, es.params.numThreads, spec.predict);
+        r.predictedPairs = pred.pairs();
+        r.predictedWords = pred.racyWords();
+    }
+
+    for (Addr w : r.manifestedWords) {
+        if (!r.predictedWords.count(w))
+            r.missedWords.push_back(w);
+    }
+    return r;
+}
+
+void
+reportXval(const XvalResult &r, LintReport &report)
+{
+    report.markChecked("xval.superset");
+    report.setMetric("xval.schedules", static_cast<double>(r.schedules));
+    report.setMetric("xval.completed", static_cast<double>(r.completed));
+    report.setMetric("xval.predictedPairs",
+                     static_cast<double>(r.predictedPairs));
+    report.setMetric("xval.predictedWords",
+                     static_cast<double>(r.predictedWords.size()));
+    report.setMetric("xval.manifestedWords",
+                     static_cast<double>(r.manifestedWords.size()));
+    report.setMetric("xval.missedWords",
+                     static_cast<double>(r.missedWords.size()));
+
+    if (!r.baselineCompleted) {
+        report.error("xval.superset",
+                     "baseline schedule did not complete; nothing to "
+                     "predict from");
+        return;
+    }
+
+    constexpr std::size_t kMaxListed = 16;
+    std::size_t listed = 0;
+    for (Addr w : r.missedWords) {
+        if (listed++ == kMaxListed) {
+            std::ostringstream os;
+            os << "... and " << (r.missedWords.size() - kMaxListed)
+               << " more escaped words";
+            report.error("xval.superset", os.str());
+            break;
+        }
+        std::ostringstream os;
+        os << "word 0x" << std::hex << w << std::dec
+           << " raced in an explored schedule but was not predicted "
+              "from the baseline trace";
+        report.error("xval.superset", os.str());
+    }
+    if (r.missedWords.empty()) {
+        std::ostringstream os;
+        os << "predicted words (" << r.predictedWords.size()
+           << ") cover every manifested racy word ("
+           << r.manifestedWords.size() << ") across " << r.completed
+           << "/" << r.schedules << " completed schedules";
+        report.info("xval.superset", os.str());
+    }
+}
+
+} // namespace cord

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cross-validation of the race predictor against schedule exploration
+ * (cordlint mode "xval").
+ *
+ * The predictor's promise is that one recorded baseline trace is
+ * enough to flag the races a *different* schedule of the same run
+ * would manifest.  This module puts a number on that: it explores M
+ * schedules of one configuration (sched/explore.h, PR 4), collects
+ * the union of racy words the Ideal detector actually saw manifest,
+ * predicts races from the baseline schedule's trace alone, and checks
+ *
+ *     predicted racy words  ⊇  manifested racy words.
+ *
+ * A hold means every race the exploration could surface was already
+ * visible to the predictor without running a single extra schedule; a
+ * miss names the escaped words so the workload/seed can be triaged.
+ * CI gates on the superset holding for the curated workload set (see
+ * .github/workflows/ci.yml job "predict").
+ */
+
+#ifndef CORD_ANALYSIS_XVAL_H
+#define CORD_ANALYSIS_XVAL_H
+
+#include <set>
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/predict.h"
+#include "sched/explore.h"
+
+namespace cord
+{
+
+/** One cross-validation: an exploration plus prediction knobs. */
+struct XvalSpec
+{
+    /** Configuration and schedule sample; recordTrace is forced on
+     *  (the baseline trace is what the predictor consumes). */
+    ExploreSpec explore;
+
+    /** Prediction knobs.  Leave sampleRate at 1 for the superset
+     *  guarantee -- a sampled predictor skips words on purpose. */
+    PredictOptions predict;
+};
+
+/** Outcome of one cross-validation. */
+struct XvalResult
+{
+    unsigned schedules = 0;   //!< schedules explored
+    unsigned completed = 0;   //!< of which ran to completion
+    bool baselineCompleted = false;
+
+    std::uint64_t predictedPairs = 0;
+    std::set<Addr> predictedWords;  //!< from the baseline trace alone
+    std::set<Addr> manifestedWords; //!< union of Ideal's racy words
+
+    /** Manifested words the predictor missed (empty = superset holds). */
+    std::vector<Addr> missedWords;
+
+    bool superset() const { return missedWords.empty(); }
+};
+
+/** Explore, predict from the baseline trace, compare. */
+XvalResult runXval(const XvalSpec &spec);
+
+/** Render a cross-validation into lint findings and metrics. */
+void reportXval(const XvalResult &r, LintReport &report);
+
+} // namespace cord
+
+#endif // CORD_ANALYSIS_XVAL_H

@@ -40,6 +40,7 @@ runOneSchedule(const ExploreSpec &spec, unsigned index,
 {
     RemoveOneInstance filter(spec.pick);
     IdealDetector ideal(spec.params.numThreads);
+    TraceRecorder recorder;
     std::unique_ptr<CordDetector> cord;
     if (spec.withCord) {
         CordConfig cc;
@@ -59,6 +60,8 @@ runOneSchedule(const ExploreSpec &spec, unsigned index,
     setup.detectors.push_back(&ideal);
     if (cord)
         setup.detectors.push_back(cord.get());
+    if (spec.recordTrace)
+        setup.detectors.push_back(&recorder);
     setup.sched = &policy;
     setup.recordSched = rec;
 
@@ -72,7 +75,15 @@ runOneSchedule(const ExploreSpec &spec, unsigned index,
     r.idealRacePairs = ideal.races().pairs();
     if (cord)
         r.cordRacePairs = cord->races().pairs();
+    r.idealRacyWords.assign(ideal.races().words().begin(),
+                            ideal.races().words().end());
     r.readChecksums = out.readChecksums;
+    if (spec.recordTrace) {
+        auto trace = std::make_shared<DecodedTrace>();
+        trace->events = recorder.events();
+        trace->threadEnds = recorder.threadEnds();
+        r.trace = std::move(trace);
+    }
     return r;
 }
 
@@ -98,6 +109,7 @@ exploreSchedules(const ExploreSpec &spec)
     ExploreSpec rest = spec;
     if (rest.maxTicks == 0 && res.runs[0].completed)
         rest.maxTicks = res.runs[0].ticks * 50 + 1000000;
+    rest.recordTrace = false; // only the baseline trace is retained
 
     auto runOne = [&](std::size_t j) {
         const unsigned s = static_cast<unsigned>(j) + 1;

@@ -15,10 +15,12 @@
 #define CORD_SCHED_EXPLORE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/runner.h"
+#include "harness/trace.h"
 #include "inject/injector.h"
 #include "sched/factory.h"
 #include "sched/sched_log.h"
@@ -51,6 +53,13 @@ struct ExploreSpec
     /** Attach a CORD detector (margin @ref cordD) to every run. */
     bool withCord = true;
     std::uint32_t cordD = 16;
+
+    /** Record the access trace of the baseline run into
+     *  `runs[0].trace` (runOneSchedule honors it for any run; the
+     *  exploration drops it for perturbed schedules, which would
+     *  otherwise hold every interleaving in memory at once).  The
+     *  cross-validation tier predicts races from this one trace. */
+    bool recordTrace = false;
 };
 
 /** What one explored schedule produced. */
@@ -62,8 +71,15 @@ struct ScheduleRun
     std::uint64_t signature = 0; //!< interleaving signature of the run
     std::uint64_t idealRacePairs = 0;
     std::uint64_t cordRacePairs = 0;
+
+    /** Distinct words the Ideal detector saw race (complete set). */
+    std::vector<Addr> idealRacyWords;
+
     std::vector<std::uint64_t> readChecksums;
     ScheduleLog log; //!< recorded decisions, metadata stamped
+
+    /** Access trace of the run; only set under spec.recordTrace. */
+    std::shared_ptr<DecodedTrace> trace;
 };
 
 /** Aggregated exploration outcome. */

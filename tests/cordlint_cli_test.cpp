@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Table-driven tests for the cordlint command-line contract
+ * (src/analysis/cordlint_cli): every valid flag combination parses
+ * into the expected configuration, every invalid one produces
+ * CliStatus::Error with a one-line reason (the binary exits 2), and
+ * --help anywhere short-circuits to CliStatus::Help (exit 0).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/cordlint_cli.h"
+
+namespace cord
+{
+namespace
+{
+
+CordlintCli
+parse(std::vector<std::string> args)
+{
+    return parseCordlintCli(args);
+}
+
+TEST(CordlintCliHelp, AnywhereInAnyMode)
+{
+    for (const auto &args : std::vector<std::vector<std::string>>{
+             {"--help"},
+             {"-h"},
+             {"check", "--help"},
+             {"predict", "--help", "--trace", "t"},
+             {"xval", "--workload", "fft", "--help"},
+         }) {
+        const CordlintCli cli = parse(args);
+        EXPECT_EQ(cli.status, CliStatus::Help) << args[0];
+    }
+    EXPECT_NE(std::string(cordlintUsageText()).find("predict"),
+              std::string::npos);
+}
+
+TEST(CordlintCliCheck, ValidCombinations)
+{
+    {
+        const CordlintCli cli = parse({"--log", "run.ordlog"});
+        ASSERT_EQ(cli.status, CliStatus::Run);
+        EXPECT_EQ(cli.mode, LintMode::Check);
+        EXPECT_EQ(cli.logPath, "run.ordlog");
+        EXPECT_TRUE(cli.audit);
+    }
+    {
+        const CordlintCli cli =
+            parse({"check", "--log=a.ordlog", "--trace=a.trace",
+                   "--threads=8", "--d=32", "--no-audit", "--json",
+                   "--strict"});
+        ASSERT_EQ(cli.status, CliStatus::Run);
+        EXPECT_EQ(cli.mode, LintMode::Check);
+        EXPECT_EQ(cli.logPath, "a.ordlog");
+        EXPECT_EQ(cli.tracePath, "a.trace");
+        EXPECT_EQ(cli.threads, 8u);
+        EXPECT_EQ(cli.d, 32u);
+        EXPECT_FALSE(cli.audit);
+        EXPECT_TRUE(cli.json);
+        EXPECT_TRUE(cli.strict);
+    }
+}
+
+TEST(CordlintCliPredict, ValidCombinations)
+{
+    const CordlintCli cli =
+        parse({"predict", "--trace", "a.trace", "--log", "a.ordlog",
+               "--threads", "4", "--sample-rate", "8",
+               "--max-witnesses", "4", "--json"});
+    ASSERT_EQ(cli.status, CliStatus::Run);
+    EXPECT_EQ(cli.mode, LintMode::Predict);
+    EXPECT_EQ(cli.tracePath, "a.trace");
+    EXPECT_EQ(cli.logPath, "a.ordlog");
+    EXPECT_EQ(cli.sampleRate, 8u);
+    EXPECT_EQ(cli.maxWitnesses, 4u);
+}
+
+TEST(CordlintCliXval, ValidCombinations)
+{
+    const CordlintCli cli =
+        parse({"xval", "--workload", "cholesky", "--scale", "2",
+               "--seed", "3", "--schedules", "8", "--jobs", "2",
+               "--inject", "1:6", "--sched", "pct", "--d", "8",
+               "--sample-rate", "2"});
+    ASSERT_EQ(cli.status, CliStatus::Run);
+    EXPECT_EQ(cli.mode, LintMode::Xval);
+    EXPECT_EQ(cli.workload, "cholesky");
+    EXPECT_EQ(cli.scale, 2u);
+    EXPECT_EQ(cli.seed, 3u);
+    EXPECT_EQ(cli.schedules, 8u);
+    EXPECT_EQ(cli.jobs, 2u);
+    EXPECT_TRUE(cli.haveInjection);
+    EXPECT_EQ(cli.pick.tid, 1u);
+    EXPECT_EQ(cli.pick.seqInThread, 6u);
+    EXPECT_EQ(cli.sched.kind, SchedKind::Pct);
+    EXPECT_EQ(cli.d, 8u);
+    EXPECT_EQ(cli.sampleRate, 2u);
+    EXPECT_EQ(cli.threads, 4u); // defaulted for the run
+
+    const CordlintCli kr = parse({"xval", "--known-races",
+                                  "--threads", "8", "--inject", "7:0"});
+    ASSERT_EQ(kr.status, CliStatus::Run);
+    EXPECT_TRUE(kr.knownRaces);
+    EXPECT_EQ(kr.threads, 8u);
+}
+
+/** One invalid invocation and the reason the error must name. */
+struct BadCase
+{
+    std::vector<std::string> args;
+    std::string expectSubstring;
+};
+
+TEST(CordlintCliErrors, EveryInvalidComboNamesItsReason)
+{
+    const std::vector<BadCase> cases = {
+        // Missing / malformed inputs.
+        {{}, "at least one of --log / --trace"},
+        {{"check"}, "at least one of --log / --trace"},
+        {{"predict"}, "requires --trace"},
+        {{"predict", "--log", "a.ordlog"}, "requires --trace"},
+        {{"frobnicate"}, "unknown mode"},
+        {{"--bogus"}, "unknown option"},
+        {{"--log"}, "requires a value"},
+        {{"--log", "a", "--threads"}, "requires a value"},
+        // Malformed numbers: strict digits-only parsing.
+        {{"--log", "a", "--threads", "abc"}, "unsigned integer"},
+        {{"--log", "a", "--threads", "-1"}, "unsigned integer"},
+        {{"--log", "a", "--threads", "4x"}, "unsigned integer"},
+        {{"--log", "a", "--d", "99999999999999999999"},
+         "unsigned integer"},
+        {{"xval", "--schedules", "0"}, "at least 1"},
+        {{"xval", "--inject", "16"}, "TID:SEQ"},
+        {{"xval", "--sched", "chaotic"}, "baseline, perturb or pct"},
+        // Flags outside their mode are errors, never ignored.
+        {{"--log", "a", "--workload", "fft"}, "only applies to xval"},
+        {{"--log", "a", "--schedules", "8"}, "only applies to xval"},
+        {{"--log", "a", "--seed", "3"}, "only applies to xval"},
+        {{"predict", "--trace", "t", "--known-races"},
+         "only applies to xval"},
+        {{"predict", "--trace", "t", "--inject", "1:0"},
+         "only applies to xval"},
+        {{"--log", "a", "--max-witnesses", "4"},
+         "only applies to predict"},
+        {{"xval", "--max-witnesses", "4"}, "only applies to predict"},
+        {{"--log", "a", "--sample-rate", "8"},
+         "only applies to predict/xval"},
+        {{"predict", "--trace", "t", "--no-audit"},
+         "only applies to check"},
+        {{"xval", "--no-audit"}, "only applies to check"},
+        {{"predict", "--trace", "t", "--d", "8"},
+         "only applies to check/xval"},
+        // Mode-specific consistency checks.
+        {{"xval", "--log", "a.ordlog"}, "do not apply to xval"},
+        {{"xval", "--trace", "a.trace"}, "do not apply to xval"},
+        {{"xval", "--threads", "0"}, "at least 1"},
+        {{"xval", "--inject", "4:0"}, "does not exist"},
+        {{"xval", "--threads", "2", "--inject", "2:5"},
+         "does not exist"},
+        {{"predict", "--trace", "t", "--sample-rate", "0"},
+         "at least 1"},
+    };
+
+    for (const BadCase &c : cases) {
+        std::string joined;
+        for (const std::string &a : c.args)
+            joined += a + " ";
+        const CordlintCli cli = parse(c.args);
+        EXPECT_EQ(cli.status, CliStatus::Error) << joined;
+        EXPECT_NE(cli.error.find(c.expectSubstring), std::string::npos)
+            << joined << "-> " << cli.error;
+    }
+}
+
+} // namespace
+} // namespace cord

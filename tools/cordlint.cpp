@@ -2,34 +2,39 @@
  * @file
  * cordlint -- offline static analysis of CORD run artifacts.
  *
- * Consumes the serialized order log and/or access trace a run left
- * behind (cordsim --save-log / --save-trace) and runs the full check
- * suite
- * without re-running the simulator: log well-formedness and replay
- * feasibility, the CORD-vs-Ideal false-negative coverage audit, and
- * the no-false-positive proof.  See docs/ANALYSIS.md.
+ * Three modes (docs/ANALYSIS.md):
  *
- * Usage:
- *   cordlint [options]
- *     --log FILE      wire-format order log (8 bytes per entry)
- *     --trace FILE    access trace of the same run
- *     --threads N     thread count (default: derived from the inputs)
- *     --d N           CORD margin D for the offline audit (default 16)
- *     --no-audit      skip the (more expensive) coverage audit
- *     --json          emit the report as JSON instead of text
- *     --strict        exit nonzero on warnings, not just errors
+ *   cordlint [check] --log F / --trace F
+ *     the artifact check suite: log well-formedness and replay
+ *     feasibility, the CORD-vs-Ideal false-negative coverage audit,
+ *     and the no-false-positive proof.
  *
- * Exit status: 0 = clean, 1 = findings, 2 = usage error.
+ *   cordlint predict --trace F [--log F]
+ *     predictive race analysis: report the races a *different*
+ *     schedule of the recorded run could manifest, each with a
+ *     verified feasibility witness.  A corrupt order log (when given)
+ *     aborts the prediction.
+ *
+ *   cordlint xval --workload W --schedules M ...
+ *     cross-validation: explore M schedules, predict from the
+ *     baseline trace alone, and fail unless the prediction covers
+ *     every racy word any explored schedule manifested.
+ *
+ * All flag parsing lives in analysis/cordlint_cli.h (unit-tested);
+ * exit status: 0 = clean, 1 = findings, 2 = usage error.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/cordlint_cli.h"
 #include "analysis/lint.h"
+#include "analysis/predict.h"
+#include "analysis/xval.h"
 #include "cord/log_codec.h"
+#include "harness/exec.h"
 #include "harness/trace.h"
 
 using namespace cord;
@@ -37,61 +42,99 @@ using namespace cord;
 namespace
 {
 
-struct Options
+int
+finish(const LintReport &report, const CordlintCli &cli)
 {
-    std::string logPath;
-    std::string tracePath;
-    unsigned threads = 0;
-    std::uint32_t d = 16;
-    bool audit = true;
-    bool json = false;
-    bool strict = false;
-};
-
-[[noreturn]] void
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--log FILE] [--trace FILE] [--threads N]"
-                 " [--d N]\n"
-                 "       [--no-audit] [--json] [--strict]\n"
-                 "at least one of --log / --trace is required\n",
-                 argv0);
-    std::exit(2);
+    const std::string rendered =
+        cli.json ? report.renderJson() : report.renderText();
+    std::fputs(rendered.c_str(), stdout);
+    if (report.errors() > 0)
+        return 1;
+    if (cli.strict && report.warnings() > 0)
+        return 1;
+    return 0;
 }
 
-Options
-parse(int argc, char **argv)
+int
+runCheckMode(const CordlintCli &cli)
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            return argv[++i];
-        };
-        if (a == "--log") {
-            opt.logPath = next();
-        } else if (a == "--trace") {
-            opt.tracePath = next();
-        } else if (a == "--threads") {
-            opt.threads = static_cast<unsigned>(std::atoi(next()));
-        } else if (a == "--d") {
-            opt.d = static_cast<std::uint32_t>(std::atoi(next()));
-        } else if (a == "--no-audit") {
-            opt.audit = false;
-        } else if (a == "--json") {
-            opt.json = true;
-        } else if (a == "--strict") {
-            opt.strict = true;
-        } else {
-            usage(argv[0]);
+    std::vector<std::uint8_t> logBytes;
+    std::optional<DecodedTrace> trace;
+    if (!cli.tracePath.empty())
+        trace = loadTrace(cli.tracePath);
+    if (!cli.logPath.empty())
+        logBytes = loadLogBytes(cli.logPath);
+
+    LintInput in;
+    if (!cli.logPath.empty())
+        in.wireLog = &logBytes;
+    if (trace)
+        in.trace = &*trace;
+    in.numThreads = cli.threads;
+    in.cordConfig.d = cli.d;
+    in.audit = cli.audit;
+
+    return finish(runLint(in), cli);
+}
+
+int
+runPredictMode(const CordlintCli &cli)
+{
+    const DecodedTrace trace = loadTrace(cli.tracePath);
+    LintReport report;
+
+    if (!cli.logPath.empty()) {
+        const std::vector<std::uint8_t> logBytes =
+            loadLogBytes(cli.logPath);
+        if (!predictInputsValid(logBytes, trace, cli.threads, 1,
+                                report)) {
+            return finish(report, cli);
         }
     }
-    if (opt.logPath.empty() && opt.tracePath.empty())
-        usage(argv[0]);
-    return opt;
+
+    PredictOptions opt;
+    opt.sampleRate = cli.sampleRate;
+    opt.maxWitnesses = cli.maxWitnesses;
+    const PredictiveAnalysis pred =
+        PredictiveAnalysis::analyze(trace, cli.threads, opt);
+    reportPrediction(pred, report);
+
+    unsigned verified = 0;
+    for (const RaceWitness &w : pred.witnesses())
+        if (verifyWitness(trace, w))
+            ++verified;
+    report.setMetric("predict.witnessesVerified",
+                     static_cast<double>(verified));
+    if (verified != pred.witnesses().size())
+        report.error("predict.witness",
+                     "a witness failed independent verification "
+                     "(predictor bug)");
+
+    return finish(report, cli);
+}
+
+int
+runXvalMode(const CordlintCli &cli)
+{
+    XvalSpec spec;
+    spec.explore.workload = cli.workload;
+    spec.explore.params.numThreads = cli.threads;
+    spec.explore.params.scale = cli.scale;
+    spec.explore.params.seed = cli.seed;
+    spec.explore.params.includeKnownRaces = cli.knownRaces;
+    spec.explore.machine.numCores = cli.cores;
+    spec.explore.sched = cli.sched;
+    spec.explore.schedules = cli.schedules;
+    spec.explore.seed = cli.seed;
+    spec.explore.jobs = resolveJobs(cli.jobs);
+    spec.explore.haveInjection = cli.haveInjection;
+    spec.explore.pick = cli.pick;
+    spec.explore.cordD = cli.d;
+    spec.predict.sampleRate = cli.sampleRate;
+
+    LintReport report;
+    reportXval(runXval(spec), report);
+    return finish(report, cli);
 }
 
 } // namespace
@@ -99,32 +142,24 @@ parse(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const Options opt = parse(argc, argv);
-
-    std::vector<std::uint8_t> logBytes;
-    std::optional<DecodedTrace> trace;
-    if (!opt.tracePath.empty())
-        trace = loadTrace(opt.tracePath);
-    if (!opt.logPath.empty())
-        logBytes = loadLogBytes(opt.logPath);
-
-    LintInput in;
-    if (!opt.logPath.empty())
-        in.wireLog = &logBytes;
-    if (trace)
-        in.trace = &*trace;
-    in.numThreads = opt.threads;
-    in.cordConfig.d = opt.d;
-    in.audit = opt.audit;
-
-    const LintReport report = runLint(in);
-    const std::string rendered =
-        opt.json ? report.renderJson() : report.renderText();
-    std::fputs(rendered.c_str(), stdout);
-
-    if (report.errors() > 0)
-        return 1;
-    if (opt.strict && report.warnings() > 0)
-        return 1;
-    return 0;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const CordlintCli cli = parseCordlintCli(args);
+    if (cli.status == CliStatus::Help) {
+        std::fputs(cordlintUsageText(), stdout);
+        return 0;
+    }
+    if (cli.status == CliStatus::Error) {
+        std::fprintf(stderr, "cordlint: %s (try 'cordlint --help')\n",
+                     cli.error.c_str());
+        return 2;
+    }
+    switch (cli.mode) {
+      case LintMode::Check:
+        return runCheckMode(cli);
+      case LintMode::Predict:
+        return runPredictMode(cli);
+      case LintMode::Xval:
+        return runXvalMode(cli);
+    }
+    return 2;
 }

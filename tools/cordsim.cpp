@@ -116,6 +116,11 @@ usage(std::FILE *to, const char *argv0)
         "                      honours --jobs/--lint/--manifest, and "
         "--explore M\n"
         "                      explores M schedules per injection\n"
+        "                      with --save-trace/--save-log PREFIX, "
+        "every completed\n"
+        "                      run writes PREFIX.iNNN.sNNN.trace / "
+        ".ordlog (cordlint\n"
+        "                      check/predict inputs)\n"
         "  --jobs N            worker threads (default CORD_JOBS or "
         "1; 0 = one per\n"
         "                      hardware thread); any value is "
@@ -306,11 +311,8 @@ parse(int argc, char **argv)
         fail("--replay only applies to single runs, not --explore");
     if (haveCampaign && opt.replay)
         fail("--replay only applies to single runs, not --campaign");
-    if (haveCampaign &&
-        (!opt.tracePath.empty() || !opt.accessTracePath.empty() ||
-         !opt.logPath.empty()))
-        fail("--trace/--save-trace/--save-log only apply to single "
-             "runs, not --campaign");
+    if (haveCampaign && !opt.tracePath.empty())
+        fail("--trace only applies to single runs, not --campaign");
     if (haveExplore && !haveCampaign &&
         (opt.lint || !opt.tracePath.empty() ||
          !opt.accessTracePath.empty() || !opt.logPath.empty()))
@@ -400,13 +402,29 @@ runCampaignMode(const Options &opt)
     CordConfig cc;
     cc.d = opt.d;
     unsigned lintFindings = 0;
-    if (opt.lint) {
-        cfg.recordTrace = true;
+    const bool saveRuns =
+        !opt.accessTracePath.empty() || !opt.logPath.empty();
+    if (opt.lint || saveRuns) {
+        cfg.recordTrace = opt.lint || !opt.accessTracePath.empty();
         cfg.onRunDone = [&](const CampaignRunView &view) {
+            // Per-run artifact files: PREFIX.iNNN.sNNN.{trace,ordlog}.
+            // onRunDone fires in merge order on the driving thread, so
+            // plain file writes need no synchronization.
+            char tag[24];
+            std::snprintf(tag, sizeof tag, ".i%03u.s%03u", view.index,
+                          view.schedule);
+            if (!opt.accessTracePath.empty() && view.trace)
+                saveTrace(*view.trace,
+                          opt.accessTracePath + tag + ".trace");
             for (const auto &det : view.detectors) {
                 const auto *cordDet =
                     dynamic_cast<const CordDetector *>(det.get());
                 if (!cordDet)
+                    continue;
+                if (!opt.logPath.empty())
+                    saveOrderLog(cordDet->orderLog(),
+                                 opt.logPath + tag + ".ordlog");
+                if (!opt.lint)
                     continue;
                 const std::vector<std::uint8_t> wire =
                     encodeOrderLog(cordDet->orderLog());
