@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "analysis/epoch_analyzer.h"
+#include "obs/profiler.h"
 
 namespace cord
 {
@@ -11,6 +12,7 @@ namespace cord
 LintReport
 runLint(const LintInput &in)
 {
+    ProfWallTimer pt(ProfDomain::Analysis, /*always=*/true);
     LintReport report;
 
     LogCheckOptions opt;

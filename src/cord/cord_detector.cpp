@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "sim/logging.h"
 
@@ -47,7 +48,7 @@ CordDetector::CordDetector(const CordConfig &cfg, std::string name)
 }
 
 void
-CordDetector::foldIntoMemTs(const LineState &ls, Tick now)
+CordDetector::foldIntoMemTs(const LineState &ls, Tick now, FoldCause cause)
 {
     if (!cfg_.memTimestamps)
         return;
@@ -67,7 +68,7 @@ CordDetector::foldIntoMemTs(const LineState &ls, Tick now)
     if (changed) {
         memTsUpdates_.inc();
         if (sink_)
-            sink_->memTsBroadcast(now);
+            sink_->memTsBroadcast(now, cause);
     }
 }
 
@@ -124,11 +125,14 @@ CordDetector::snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock)
 void
 CordDetector::invalidateRemote(CoreId core, Addr addr, Tick now)
 {
+    ProfWallTimer pt(ProfDomain::CordTimestamp);
     for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
         if (oc == core)
             continue;
         const bool dropped = caches_[oc].invalidate(
-            addr, [&](Addr, LineState &st) { foldIntoMemTs(st, now); });
+            addr, [&](Addr, LineState &st) {
+                foldIntoMemTs(st, now, FoldCause::Invalidation);
+            });
         if (dropped) {
             coherenceInvalidations_.inc();
             if (EventTracer *t = EventTracer::active())
@@ -143,11 +147,12 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
                              Ts64 clock, const SnoopResult *snoopRes,
                              Tick now)
 {
+    ProfWallTimer pt(ProfDomain::CordTimestamp);
     const std::uint16_t wbit =
         static_cast<std::uint16_t>(1u << wordInLine(addr));
     LineState &ls = caches_[core].getOrInsert(
         addr, [&](Addr victimAddr, LineState &st) {
-            foldIntoMemTs(st, now);
+            foldIntoMemTs(st, now, FoldCause::LineDisplacement);
             lineDisplacements_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
@@ -175,7 +180,7 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
         if (ls.e[victim].valid) {
             LineState tmp;
             tmp.e[0] = ls.e[victim];
-            foldIntoMemTs(tmp, now);
+            foldIntoMemTs(tmp, now, FoldCause::EntryDisplacement);
             entryDisplacements_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
@@ -210,6 +215,7 @@ CordDetector::commitClockChange(OrderLogWriter &wr, Ts64 newClock,
                                 std::uint64_t instrBoundary,
                                 const MemEvent &ev)
 {
+    ProfWallTimer pt(ProfDomain::CordLog);
     const Ts64 old = wr.clock();
     const std::size_t entriesBefore = log_.size();
     wr.changeClock(newClock, instrBoundary);
@@ -242,6 +248,7 @@ CordDetector::minActiveClock() const
 void
 CordDetector::runWalker(Tick now)
 {
+    ProfWallTimer pt(ProfDomain::CordHistory, /*always=*/true);
     const Ts64 minClk = minActiveClock();
     if (minClk == 0)
         return;
@@ -258,7 +265,7 @@ CordDetector::runWalker(Tick now)
                 if (minClk > e.ts && minClk - e.ts > cfg_.staleThreshold) {
                     LineState tmp;
                     tmp.e[0] = e;
-                    foldIntoMemTs(tmp, now);
+                    foldIntoMemTs(tmp, now, FoldCause::WalkerEviction);
                     walkerEvictions_.inc();
                     if (EventTracer *t = EventTracer::active())
                         t->emit(TraceEventKind::HistoryDisplacement,
@@ -320,7 +327,10 @@ CordDetector::onAccess(const MemEvent &ev)
     SnoopResult sr;
     bool memServed = false;
     if (needCheck) {
-        sr = snoop(ev.core, ev.addr, isW, clock);
+        {
+            ProfWallTimer pt(ProfDomain::CordCheck);
+            sr = snoop(ev.core, ev.addr, isW, clock);
+        }
         raceChecks_.inc();
         if (EventTracer *t = EventTracer::active())
             t->emit(TraceEventKind::HistoryLookup, ev.tick,

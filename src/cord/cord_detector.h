@@ -129,8 +129,9 @@ class CordDetector : public Detector
     SnoopResult snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock);
 
     /** Fold a displaced/invalidated line history into the main-memory
-     *  timestamps, broadcasting on change (Section 2.5). */
-    void foldIntoMemTs(const LineState &ls, Tick now);
+     *  timestamps, broadcasting on change (Section 2.5); @p cause
+     *  records which mechanism displaced the history (attribution). */
+    void foldIntoMemTs(const LineState &ls, Tick now, FoldCause cause);
 
     /** Insert the committed access into the local history. */
     void timestampLocal(CoreId core, Addr addr, bool isWrite, Ts64 clock,

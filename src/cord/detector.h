@@ -23,6 +23,19 @@
 namespace cord
 {
 
+/** Why a history entry was folded into the main-memory timestamps
+ *  (i.e. what caused a memTsBroadcast).  Invalidation is ordinary
+ *  timestamp maintenance driven by coherence; the other three are
+ *  history-capacity effects (displacement and walker staleness),
+ *  which the overhead profiler attributes separately. */
+enum class FoldCause : std::uint8_t
+{
+    Invalidation,     //!< remote copy invalidated by a committed write
+    LineDisplacement, //!< history line victimized by a fill
+    EntryDisplacement,//!< per-line entry displaced by a new clock value
+    WalkerEviction,   //!< stale entry swept by the cache walker
+};
+
 /** Receives CORD's extra bus traffic in timing-coupled runs. */
 class CordTrafficSink
 {
@@ -32,8 +45,9 @@ class CordTrafficSink
     /** A race check request (address/timestamp bus, no data). */
     virtual void raceCheck(Tick now) = 0;
 
-    /** A main-memory timestamp update broadcast. */
-    virtual void memTsBroadcast(Tick now) = 0;
+    /** A main-memory timestamp update broadcast; @p cause says which
+     *  mechanism produced it (overhead attribution). */
+    virtual void memTsBroadcast(Tick now, FoldCause cause) = 0;
 };
 
 /** Base class for all detector configurations. */

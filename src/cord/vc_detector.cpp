@@ -1,5 +1,6 @@
 #include "cord/vc_detector.h"
 
+#include "obs/profiler.h"
 #include "sim/logging.h"
 
 namespace cord
@@ -105,6 +106,7 @@ VcDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
 void
 VcDetector::onAccess(const MemEvent &ev)
 {
+    ProfWallTimer pt(ProfDomain::VcBaseline);
     cord_assert(ev.tid < cfg_.numThreads, "unknown thread ", ev.tid);
     cord_assert(ev.core < cfg_.numCores, "unknown core ", ev.core);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
 #include "sim/logging.h"
 
 namespace cord
@@ -161,6 +162,11 @@ Simulation::coreStepPolicy(CoreId c)
                 choice = 0;
             if (schedRec_)
                 schedRec_->push(SchedPoint::Pick, choice);
+            if (EventTracer *tr = EventTracer::active())
+                tr->emit(TraceEventKind::SchedDecision, events_.now(),
+                         candTids_[choice], c,
+                         static_cast<std::uint64_t>(SchedPoint::Pick),
+                         choice);
         }
         const std::size_t pos = candPos_[choice];
         Thread &t = *threads_[core.threads[pos]];
@@ -281,14 +287,29 @@ Simulation::issueMemOp(Thread &t)
         // a later-issued read commit before an earlier-issued write.
         completion = events_.now() + 1;
     } else {
-        completion =
-            mem_.access(t.core, op.addr, writeForTiming, events_.now())
-                .completion;
+        {
+            ProfWallTimer pt(ProfDomain::MemService);
+            completion =
+                mem_.access(t.core, op.addr, writeForTiming,
+                            events_.now())
+                    .completion;
+        }
+        if (Profiler *p = Profiler::active())
+            p->addCycles(ProfDomain::MemService,
+                         completion - events_.now());
         if (sched_) {
             const Tick extra = sched_->memDelay(t.tid, op.addr, op.sync);
             if (schedRec_)
                 schedRec_->push(SchedPoint::Delay, extra);
             completion += extra;
+            if (extra > 0) {
+                if (EventTracer *tr = EventTracer::active())
+                    tr->emit(TraceEventKind::SchedDecision,
+                             events_.now(), t.tid, t.core,
+                             static_cast<std::uint64_t>(
+                                 SchedPoint::Delay),
+                             extra);
+            }
         }
     }
 
@@ -392,6 +413,13 @@ Simulation::run(Tick maxTicks)
         if (!cores_[c].threads.empty())
             scheduleCore(static_cast<CoreId>(c));
     }
+    // Kernel-dispatch wall attribution: one timed block around the
+    // whole dispatch loop (exact, two clock reads total) instead of a
+    // per-step sampled timer -- per-event instrumentation is the one
+    // place where even a sampled hook costs whole percents.
+    Profiler *const prof = Profiler::active();
+    const auto dispatchStart = std::chrono::steady_clock::now();
+    std::uint64_t steps = 0;
     while (!allFinished()) {
         if (events_.empty())
             cord_panic("event queue drained with ", finishedThreads_,
@@ -399,7 +427,16 @@ Simulation::run(Tick maxTicks)
         if (events_.now() > maxTicks)
             return false; // watchdog: likely an injected deadlock
         events_.step();
+        ++steps;
     }
+    if (prof)
+        prof->addWallBlock(
+            ProfDomain::KernelDispatch,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - dispatchStart)
+                    .count()),
+            steps);
     return true;
 }
 

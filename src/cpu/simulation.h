@@ -19,6 +19,7 @@
 
 #include "cord/detector.h"
 #include "mem/machine_config.h"
+#include "obs/profiler.h"
 #include "mem/timing_mem.h"
 #include "runtime/sim_task.h"
 #include "runtime/value_store.h"
@@ -98,10 +99,23 @@ class Simulation : public CordTrafficSink
     bool run(Tick maxTicks = kMaxTick);
 
     /// @{ @name CordTrafficSink: charge CORD traffic to the buses
-    void raceCheck(Tick now) override { mem_.chargeRaceCheck(now); }
-    void memTsBroadcast(Tick now) override
+    void
+    raceCheck(Tick now) override
     {
-        mem_.chargeMemTsBroadcast(now);
+        const Tick cycles = mem_.chargeRaceCheck(now);
+        if (Profiler *p = Profiler::active())
+            p->addCycles(ProfDomain::CordCheck, cycles);
+    }
+
+    void
+    memTsBroadcast(Tick now, FoldCause cause) override
+    {
+        const Tick cycles = mem_.chargeMemTsBroadcast(now);
+        if (Profiler *p = Profiler::active())
+            p->addCycles(cause == FoldCause::Invalidation
+                             ? ProfDomain::CordTimestamp
+                             : ProfDomain::CordHistory,
+                         cycles);
     }
     /// @}
 

@@ -1,5 +1,6 @@
 #include "harness/experiments.h"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -8,6 +9,7 @@
 #include "harness/exec.h"
 #include "inject/injector.h"
 #include "obs/manifest.h"
+#include "obs/profiler.h"
 #include "sim/logging.h"
 #include "sim/rng.h"
 
@@ -129,7 +131,14 @@ runCampaign(const CampaignConfig &cfg,
         std::vector<std::unique_ptr<Detector>> dets;
         std::unique_ptr<TraceRecorder> trace;
         std::unique_ptr<SchedulePolicy> policy;
+        double wallSec = 0.0; //!< host duration (heartbeat only)
     };
+
+    if (cfg.flight)
+        cfg.flight->campaignBegin(cfg.workload,
+                                  cfg.injections * cfg.schedules,
+                                  cfg.injections, cfg.schedules,
+                                  cfg.jobs);
 
     // The fan-out is flat over (injection, schedule) pairs: index
     // f = injection * schedules + schedule.  Schedule 0 of every
@@ -138,6 +147,10 @@ runCampaign(const CampaignConfig &cfg,
     auto runOne = [&](std::size_t f) {
         const std::size_t i = f / cfg.schedules;
         const unsigned s = static_cast<unsigned>(f % cfg.schedules);
+        if (cfg.flight)
+            cfg.flight->runStarted(static_cast<unsigned>(f),
+                                   static_cast<unsigned>(i), s);
+        const auto t0 = std::chrono::steady_clock::now();
         RunArtifacts art;
         RemoveOneInstance filter(picks[i]);
         art.ideal =
@@ -165,6 +178,9 @@ runCampaign(const CampaignConfig &cfg,
         }
 
         art.out = runWorkload(setup);
+        art.wallSec = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
         return art;
     };
 
@@ -184,6 +200,12 @@ runCampaign(const CampaignConfig &cfg,
     auto mergeOne = [&](std::size_t f, RunArtifacts &&art) {
         const unsigned i = static_cast<unsigned>(f / cfg.schedules);
         const unsigned s = static_cast<unsigned>(f % cfg.schedules);
+        if (cfg.flight)
+            cfg.flight->runFinished(static_cast<unsigned>(f), i, s,
+                                    art.out.completed,
+                                    !art.out.completed, art.wallSec,
+                                    art.out.ticks,
+                                    art.ideal->races().pairs());
         if (s == 0) {
             agg.manifested = false;
             agg.firstSched = 0;
@@ -241,6 +263,8 @@ runCampaign(const CampaignConfig &cfg,
     for (unsigned first : manifestedAt)
         for (unsigned s = first; s < cfg.schedules; ++s)
             ++res.manifestedCum[s];
+    if (cfg.flight)
+        cfg.flight->campaignEnd(res.scheduleRuns, res.timeouts);
     return res;
 }
 
@@ -320,6 +344,153 @@ runPerf(const std::string &workload, const WorkloadParams &params,
         p.memTsTraffic = cord.stats().get("cord.memTsUpdates");
     }
     return p;
+}
+
+ProfileReport
+runProfile(const std::string &workload, const WorkloadParams &params,
+           const MachineConfig &machine, const CordConfig &cordCfg)
+{
+    ProfileReport r;
+    r.workload = workload;
+
+    // Ideal baseline: no detection hardware, profiler active so the
+    // simulator-side domains (kernel/bus/memory) have a reference.
+    Profiler baseProf;
+    {
+        ProfilerScope ps(baseProf);
+        RunSetup base;
+        base.workload = workload;
+        base.params = params;
+        base.machine = machine;
+        const RunOutcome out = runWorkload(base);
+        cord_assert(out.completed,
+                    "baseline profile run did not complete");
+        r.baselineTicks = out.ticks;
+    }
+
+    // CORD run, traffic charged to the buses, profiler attributing
+    // every charge to its mechanism.
+    Profiler cordProf;
+    std::uint64_t raceChecks = 0;
+    std::uint64_t invalidationFolds = 0;
+    std::uint64_t historyFolds = 0;
+    std::uint64_t logEntries = 0;
+    {
+        ProfilerScope ps(cordProf);
+        CordConfig cfg = cordCfg;
+        cfg.numCores = machine.numCores;
+        cfg.numThreads = params.numThreads;
+        CordDetector cord(cfg);
+        RunSetup run;
+        run.workload = workload;
+        run.params = params;
+        run.machine = machine;
+        run.detectors.push_back(&cord);
+        run.timingCord = &cord;
+        const RunOutcome out = runWorkload(run);
+        cord_assert(out.completed, "CORD profile run did not complete");
+        r.cordTicks = out.ticks;
+        raceChecks = cord.stats().get("cord.raceChecks");
+        logEntries = cord.stats().get("cord.logEntries");
+        r.logWireBytes = cord.stats().get("cord.logWireBytes");
+        invalidationFolds = cordProf.calls(ProfDomain::CordTimestamp);
+        historyFolds = cordProf.calls(ProfDomain::CordHistory);
+    }
+    r.overheadTicks =
+        r.cordTicks > r.baselineTicks ? r.cordTicks - r.baselineTicks : 0;
+
+    // VC software-cost comparison: a functional (untimed) VC-L2 run;
+    // only its host wall cost is interesting.
+    Profiler vcProf;
+    {
+        ProfilerScope ps(vcProf);
+        VcConfig vcfg;
+        vcfg.numCores = machine.numCores;
+        vcfg.numThreads = params.numThreads;
+        vcfg.infiniteResidency = false;
+        vcfg.residency = CacheGeometry::paperL2();
+        VcDetector vc(vcfg, "VC-L2Cache");
+        RunSetup run;
+        run.workload = workload;
+        run.params = params;
+        run.machine = machine;
+        run.detectors.push_back(&vc);
+        const RunOutcome out = runWorkload(run);
+        cord_assert(out.completed, "VC profile run did not complete");
+    }
+
+    // Attributed bus cycles per mechanism.  The order log is written
+    // back to memory asynchronously by the log writer (paper
+    // Section 2.7.1) and deliberately not injected into the simulated
+    // timing (determinism); its cost is analytic: one off-chip line
+    // transfer per cache line of wire bytes.
+    const std::uint64_t lineBytes = machine.l2.lineBytes;
+    const std::uint64_t logChunks =
+        lineBytes ? (r.logWireBytes + lineBytes - 1) / lineBytes : 0;
+    const std::uint64_t logCycles =
+        logChunks * static_cast<std::uint64_t>(machine.offChipBusOccupancy);
+
+    r.mechanisms = {
+        {"check", cordProf.cycles(ProfDomain::CordCheck), raceChecks, 0,
+         0},
+        {"timestamp", cordProf.cycles(ProfDomain::CordTimestamp),
+         invalidationFolds, 0, 0},
+        {"history", cordProf.cycles(ProfDomain::CordHistory),
+         historyFolds, 0, 0},
+        {"log", logCycles, logEntries, 0, 0},
+    };
+    std::uint64_t attributed = 0;
+    for (const ProfileMechanism &m : r.mechanisms)
+        attributed += m.cycles;
+    for (ProfileMechanism &m : r.mechanisms) {
+        if (attributed == 0)
+            continue;
+        m.share = static_cast<double>(m.cycles) /
+                  static_cast<double>(attributed);
+        m.overheadTicks =
+            m.share * static_cast<double>(r.overheadTicks);
+    }
+
+    // Host wall-time estimates (volatile).
+    for (unsigned k = 0; k < kProfDomains; ++k) {
+        const ProfDomain d = static_cast<ProfDomain>(k);
+        if (cordProf.wallSamples(d))
+            r.hostWallSec[std::string("cord.") + profDomainName(d)] =
+                static_cast<double>(cordProf.wallEstimateNs(d)) * 1e-9;
+        if (baseProf.wallSamples(d))
+            r.hostWallSec[std::string("ideal.") + profDomainName(d)] =
+                static_cast<double>(baseProf.wallEstimateNs(d)) * 1e-9;
+    }
+    if (vcProf.wallSamples(ProfDomain::VcBaseline))
+        r.hostWallSec["vc.vc_baseline"] =
+            static_cast<double>(
+                vcProf.wallEstimateNs(ProfDomain::VcBaseline)) *
+            1e-9;
+    return r;
+}
+
+void
+addProfileMetrics(RunManifest &m, const ProfileReport &r)
+{
+    StatRegistry s;
+    s.set("overhead.baselineTicks", r.baselineTicks);
+    s.set("overhead.cordTicks", r.cordTicks);
+    s.set("overhead.totalTicks", r.overheadTicks);
+    s.set("log.wireBytes", r.logWireBytes);
+    for (const ProfileMechanism &mech : r.mechanisms) {
+        const std::string base = "mech." + mech.key;
+        s.set(base + ".cycles", mech.cycles);
+        s.set(base + ".events", mech.events);
+        // Shares in parts per million and prorated ticks rounded to
+        // integers: deterministic counters, exact to < 1e-6.
+        s.set(base + ".sharePpm",
+              static_cast<std::uint64_t>(mech.share * 1e6 + 0.5));
+        s.set(base + ".overheadTicks",
+              static_cast<std::uint64_t>(mech.overheadTicks + 0.5));
+    }
+    m.metrics.add("profile." + r.workload, s);
+    for (const auto &[k, v] : r.hostWallSec)
+        m.hostProfile[r.workload + "." + k] = v;
 }
 
 } // namespace cord

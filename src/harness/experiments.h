@@ -17,6 +17,7 @@
 
 #include "cord/cord_detector.h"
 #include "cord/vc_detector.h"
+#include "harness/flight.h"
 #include "harness/runner.h"
 #include "harness/trace.h"
 #include "sched/factory.h"
@@ -88,6 +89,12 @@ struct CampaignConfig
     /** Called after every completed injection run, e.g. to lint the
      *  run's artifacts (tools/cordlint does the same offline). */
     std::function<void(const CampaignRunView &)> onRunDone;
+
+    /** Optional heartbeat stream (harness/flight.h); not owned.  The
+     *  heartbeat is outside the determinism contract: campaign results
+     *  and manifests are byte-identical with or without it, for any
+     *  job count. */
+    FlightRecorder *flight = nullptr;
 };
 
 /** Aggregated campaign outcome. */
@@ -222,6 +229,75 @@ struct PerfPoint
 PerfPoint runPerf(const std::string &workload,
                   const WorkloadParams &params,
                   const MachineConfig &machine, const CordConfig &cord);
+
+/**
+ * Overhead decomposition (obs/profiler.h): where CORD's end-to-end
+ * slowdown comes from, by mechanism.  Produced by runProfile().
+ *
+ * The measured total is exact: cordTicks - baselineTicks from two runs
+ * of the same deterministic workload.  Each mechanism's attributed
+ * cycles are exact too (bus cycles its traffic consumed; the log cost
+ * is analytic from the wire size).  The per-mechanism overheadTicks
+ * prorate the measured total over the attributed cycles, so the
+ * decomposition sums to the measured total by construction -- shares
+ * answer "which mechanism is responsible", not "what would removing it
+ * save" (contention is not additive).
+ */
+struct ProfileMechanism
+{
+    std::string key;            //!< "check"|"timestamp"|"history"|"log"
+    std::uint64_t cycles = 0;   //!< attributed bus cycles (exact)
+    std::uint64_t events = 0;   //!< traffic events behind the cycles
+    double share = 0.0;         //!< fraction of attributed cycles
+    double overheadTicks = 0.0; //!< prorated measured overhead
+};
+
+/** Full report of one profiled workload. */
+struct ProfileReport
+{
+    std::string workload;
+    Tick baselineTicks = 0; //!< Ideal: no detection hardware at all
+    Tick cordTicks = 0;     //!< CORD attached and charged to the buses
+    Tick overheadTicks = 0; //!< cordTicks - baselineTicks (measured)
+
+    /** check / timestamp / history / log, in that order. */
+    std::vector<ProfileMechanism> mechanisms;
+
+    std::uint64_t logWireBytes = 0; //!< order-log size behind "log"
+
+    /** Host wall-second estimates per profiler domain for the CORD
+     *  run ("cord.<domain>") plus the vector-clock baseline detector
+     *  cost from a third run ("vc.vc_baseline") -- the CORD-vs-VC
+     *  software-cost comparison.  Host-dependent: exported only into
+     *  the volatile manifest section. */
+    std::map<std::string, double> hostWallSec;
+
+    double relative() const
+    {
+        return baselineTicks ? static_cast<double>(cordTicks) /
+                                   static_cast<double>(baselineTicks)
+                             : 1.0;
+    }
+};
+
+/**
+ * Profile one workload: an Ideal baseline run, a CORD run under an
+ * active Profiler (exact per-mechanism cycle attribution + sampled
+ * wall time), and a VC-L2 run for the software-cost comparison.
+ * Deterministic for a fixed configuration except hostWallSec.
+ */
+ProfileReport runProfile(const std::string &workload,
+                         const WorkloadParams &params,
+                         const MachineConfig &machine,
+                         const CordConfig &cord);
+
+/**
+ * Record @p r into @p m: deterministic "profile.<workload>.*" metrics
+ * (mechanism cycles/events, prorated overhead ticks, shares in parts
+ * per million) and the volatile hostProfile section.  `cordstat
+ * profile` renders manifests carrying these metrics.
+ */
+void addProfileMetrics(RunManifest &m, const ProfileReport &r);
 
 } // namespace cord
 

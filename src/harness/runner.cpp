@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/profiler.h"
+#include "obs/tracer.h"
 #include "runtime/address_space.h"
 #include "sim/logging.h"
 
@@ -76,6 +78,18 @@ runWorkload(const RunSetup &setup)
     StatRegistry memStats;
     sim.mem().exportStats(memStats);
     out.stats.merge("mem", memStats);
+
+    // Observability self-accounting: a run executed under an active
+    // tracer or profiler records what the instruments themselves saw
+    // (ring-buffer drops must be visible, not silent -- cordstat show
+    // warns on obs.tracer.dropped).  Uninstrumented runs add nothing,
+    // keeping golden manifests unchanged.
+    if (const EventTracer *tr = EventTracer::active()) {
+        out.stats.set("obs.tracer.total", tr->total());
+        out.stats.set("obs.tracer.dropped", tr->dropped());
+    }
+    if (const Profiler *p = Profiler::active())
+        exportProfileStats(*p, out.stats);
 
     if (setup.timingCord)
         setup.timingCord->setTrafficSink(nullptr);

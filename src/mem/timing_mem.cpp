@@ -167,23 +167,28 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
     return res;
 }
 
-void
+Tick
 TimingMemSystem::chargeRaceCheck(Tick now)
 {
+    Tick cycles = addrBus_.occupancy();
     // Snooping: one broadcast address/timestamp bus transaction; the
     // timestamp response rides the dedicated snoop-response wires,
     // like coherence responses, and there is no data transfer (paper
     // Section 2.7.2).  Directory: the check indirects through the
     // directory (request + directed probe).
     addrBus_.acquire(now);
-    if (cfg_.coherence == CoherenceKind::Directory)
+    if (cfg_.coherence == CoherenceKind::Directory) {
         addrBus_.acquire(now + cfg_.directoryLatency);
+        cycles += addrBus_.occupancy();
+    }
+    return cycles;
 }
 
-void
+Tick
 TimingMemSystem::chargeMemTsBroadcast(Tick now)
 {
     addrBus_.acquire(now);
+    return addrBus_.occupancy();
 }
 
 void

@@ -69,14 +69,16 @@ class TimingMemSystem
     /**
      * Charge one CORD race-check request to the address/timestamp bus
      * (request + response; no data transfer -- paper Section 2.7.2).
+     * @return bus cycles consumed by the charge (overhead attribution)
      */
-    void chargeRaceCheck(Tick now);
+    Tick chargeRaceCheck(Tick now);
 
     /**
      * Charge one memory-timestamp update broadcast to the
      * address/timestamp bus (paper Section 2.5).
+     * @return bus cycles consumed by the charge (overhead attribution)
      */
-    void chargeMemTsBroadcast(Tick now);
+    Tick chargeMemTsBroadcast(Tick now);
 
     /** Address/timestamp bus (exposed for stats/tests). */
     const BusChannel &addrBus() const { return addrBus_; }

@@ -179,6 +179,40 @@ flattenInto(const JsonValue &v, const std::string &prefix,
             if (f && f->isNumber())
                 out[prefix + "." + fieldName] = f->asNumber();
         }
+        // Histograms additionally surface percentile estimates from
+        // their log2 buckets (the estimate is the upper bound of the
+        // bucket holding the rank, i.e. within one power of two):
+        // without them `cordstat agg` would drop distribution shape.
+        const JsonValue *buckets = v.find("buckets");
+        if (type == "histogram" && buckets && buckets->isArray()) {
+            double total = 0;
+            for (std::size_t i = 0; i < buckets->size(); ++i) {
+                const JsonValue *n = buckets->items()[i].find("n");
+                if (n && n->isNumber())
+                    total += n->asNumber();
+            }
+            for (const auto &[pname, q] :
+                 {std::pair<const char *, double>{"p50", 0.50},
+                  std::pair<const char *, double>{"p99", 0.99}}) {
+                if (total <= 0)
+                    break;
+                const double rank = q * total;
+                double cum = 0;
+                for (std::size_t i = 0; i < buckets->size(); ++i) {
+                    const JsonValue &b = buckets->items()[i];
+                    const JsonValue *n = b.find("n");
+                    const JsonValue *hi = b.find("hi");
+                    if (!n || !n->isNumber())
+                        continue;
+                    cum += n->asNumber();
+                    if (cum >= rank) {
+                        if (hi && hi->isNumber())
+                            out[prefix + "." + pname] = hi->asNumber();
+                        break;
+                    }
+                }
+            }
+        }
         return;
     }
     for (std::size_t i = 0; i < v.size(); ++i) {

@@ -42,6 +42,7 @@ constexpr KindInfo kKinds[kTraceEventKinds] = {
     {"cache_evict", "mem", kPidCpu, "addr", "dirty"},
     {"sync_acquire", "sync", kPidThreads, "addr", "clock"},
     {"sync_release", "sync", kPidThreads, "addr", "clock"},
+    {"sched_decision", "sched", kPidThreads, "kind", "value"},
 };
 
 const char *kBusNames[] = {"addr/ts bus", "data bus", "mem bus"};

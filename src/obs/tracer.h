@@ -45,11 +45,13 @@ enum class TraceEventKind : std::uint8_t
     CacheEvict,          //!< line victimized: a=addr, b=dirty
     SyncAcquire,         //!< sync read committed: a=addr, b=clock
     SyncRelease,         //!< sync write committed: a=addr, b=clock
+    SchedDecision,       //!< schedule-policy decision: a=kind (0=pick,
+                         //!< 1=delay), b=value (choice index / cycles)
 };
 
 /** Number of distinct event kinds. */
 constexpr unsigned kTraceEventKinds =
-    static_cast<unsigned>(TraceEventKind::SyncRelease) + 1;
+    static_cast<unsigned>(TraceEventKind::SchedDecision) + 1;
 
 /** Stable lowercase name of @p k ("clock_update", ...). */
 const char *traceEventKindName(TraceEventKind k);

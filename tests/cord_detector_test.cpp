@@ -499,7 +499,7 @@ TEST(CordScenario, TrafficSinkReceivesRaceChecks)
         unsigned checks = 0;
         unsigned memTs = 0;
         void raceCheck(Tick) override { ++checks; }
-        void memTsBroadcast(Tick) override { ++memTs; }
+        void memTsBroadcast(Tick, FoldCause) override { ++memTs; }
     };
     CordConfig cfg = config(16);
     cfg.residency = CacheGeometry{1024, 64, 2};

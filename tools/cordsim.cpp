@@ -74,7 +74,9 @@ struct Options
     std::string manifestPath; //!< run-manifest JSON output
     std::string accessTracePath; //!< binary access trace (cordlint)
     std::string logPath;
+    std::string heartbeatPath; //!< campaign flight-recorder JSONL
     bool lint = false;
+    bool profile = false; //!< overhead-decomposition mode
 };
 
 void
@@ -108,6 +110,13 @@ usage(std::FILE *to, const char *argv0)
         "  --save-log FILE     dump the wire-format order log\n"
         "  --lint              run the cordlint checks; exit 1 on "
         "findings\n"
+        "  --profile           overhead-attribution mode: run Ideal, "
+        "CORD and VC-L2\n"
+        "                      back to back and report the "
+        "per-mechanism overhead\n"
+        "                      decomposition (render a saved manifest "
+        "with 'cordstat\n"
+        "                      profile')\n"
         "  --list              list available workloads and exit\n"
         "\n"
         "Injection campaign:\n"
@@ -125,6 +134,10 @@ usage(std::FILE *to, const char *argv0)
         "1; 0 = one per\n"
         "                      hardware thread); any value is "
         "bit-identical\n"
+        "  --heartbeat FILE    stream per-run campaign progress as "
+        "crash-safe JSONL\n"
+        "                      (cord-heartbeat-v1; summarize with "
+        "'cordstat watch')\n"
         "\n"
         "Schedule exploration (docs/SCHEDULING.md):\n"
         "  --explore N         run N schedules of this configuration "
@@ -265,6 +278,10 @@ parse(int argc, char **argv)
             opt.logPath = next();
         } else if (a == "--lint") {
             opt.lint = true;
+        } else if (a == "--profile") {
+            opt.profile = true;
+        } else if (a == "--heartbeat") {
+            opt.heartbeatPath = next();
         } else if (a == "--list") {
             for (const auto &n : workloadNames())
                 std::printf("%s\n", n.c_str());
@@ -291,7 +308,6 @@ parse(int argc, char **argv)
             {opt.replay, "--replay"},
             {opt.lint, "--lint"},
             {!opt.saveSchedPrefix.empty(), "--save-sched"},
-            {!opt.tracePath.empty(), "--trace"},
             {!opt.manifestPath.empty(), "--manifest"},
             {!opt.accessTracePath.empty(), "--save-trace"},
             {!opt.logPath.empty(), "--save-log"},
@@ -320,6 +336,26 @@ parse(int argc, char **argv)
              "single runs, not --explore");
     if (haveJobs && !haveCampaign && !haveExplore)
         fail("--jobs requires --campaign or --explore");
+    if (!opt.heartbeatPath.empty() && !haveCampaign)
+        fail("--heartbeat requires --campaign");
+    if (opt.profile) {
+        const std::pair<bool, const char *> conflicts[] = {
+            {haveCampaign, "--campaign"},
+            {haveExplore, "--explore"},
+            {!opt.replaySchedPath.empty(), "--replay-sched"},
+            {opt.replay, "--replay"},
+            {opt.lint, "--lint"},
+            {opt.haveInjection, "--inject"},
+            {opt.knownRaces, "--known-races"},
+            {!opt.tracePath.empty(), "--trace"},
+            {!opt.accessTracePath.empty(), "--save-trace"},
+            {!opt.logPath.empty(), "--save-log"},
+        };
+        for (const auto &[bad, name] : conflicts)
+            if (bad)
+                fail(std::string(name) +
+                     " cannot be combined with --profile");
+    }
     if (!opt.haveSchedSeed)
         opt.schedSeed = opt.seed;
     return opt;
@@ -449,6 +485,15 @@ runCampaignMode(const Options &opt)
         };
     }
 
+    // The heartbeat stream is outside the determinism contract: the
+    // campaign result and manifest are byte-identical with or without
+    // it, for any job count.
+    std::unique_ptr<FlightRecorder> flight;
+    if (!opt.heartbeatPath.empty()) {
+        flight = std::make_unique<FlightRecorder>(opt.heartbeatPath);
+        cfg.flight = flight.get();
+    }
+
     const auto wallStart = std::chrono::steady_clock::now();
     const std::string cordLabel = "CORD-D" + std::to_string(opt.d);
     const CampaignResult res = runCampaign(
@@ -491,6 +536,12 @@ runCampaignMode(const Options &opt)
     }
     t.print("Campaign summary");
     std::printf("wall time     : %.3f s\n", wallSeconds);
+    if (flight)
+        std::printf("heartbeat     : %s (%llu event(s), %llu "
+                    "dropped)\n",
+                    opt.heartbeatPath.c_str(),
+                    static_cast<unsigned long long>(flight->written()),
+                    static_cast<unsigned long long>(flight->dropped()));
 
     if (!opt.manifestPath.empty()) {
         RunManifest m;
@@ -645,7 +696,28 @@ runReplaySchedMode(const Options &opt)
     if (spec.maxTicks == 0)
         spec.maxTicks = 2000000000ULL; // a diverged replay may hang
     SchedReplayPolicy policy(log);
-    const ScheduleRun r = runOneSchedule(spec, 0, policy, nullptr);
+
+    // --trace works here because the replay runs on the calling
+    // thread: the Chrome trace shows exactly the replayed
+    // interleaving, sched_decision events included.
+    std::unique_ptr<EventTracer> tracer;
+    if (!opt.tracePath.empty())
+        tracer = std::make_unique<EventTracer>(traceCapacity());
+    ScheduleRun r;
+    {
+        std::optional<TracerScope> scope;
+        if (tracer)
+            scope.emplace(*tracer);
+        r = runOneSchedule(spec, 0, policy, nullptr);
+    }
+    if (tracer) {
+        saveChromeTrace(*tracer, opt.tracePath);
+        std::printf("trace         : %llu events (%llu dropped) -> "
+                    "%s\n",
+                    static_cast<unsigned long long>(tracer->total()),
+                    static_cast<unsigned long long>(tracer->dropped()),
+                    opt.tracePath.c_str());
+    }
 
     const bool sigOk = r.signature == log.signature;
     const bool ok =
@@ -668,6 +740,86 @@ runReplaySchedMode(const Options &opt)
     return ok ? 0 : 1;
 }
 
+/**
+ * --profile mode: overhead-attribution run (harness/experiments.h).
+ * Runs Ideal, CORD and VC-L2 back to back and prints where CORD's
+ * slowdown comes from, by mechanism; the decomposition sums to the
+ * measured overhead by construction.
+ */
+int
+runProfileMode(const Options &opt)
+{
+    WorkloadParams params;
+    params.numThreads = opt.threads;
+    params.scale = opt.scale;
+    params.seed = opt.seed;
+    MachineConfig machine;
+    machine.numCores = opt.cores;
+    machine.coherence = opt.directory ? CoherenceKind::Directory
+                                      : CoherenceKind::Snooping;
+    machine.migrationPeriodInstrs = opt.migrate;
+    CordConfig cc;
+    cc.numCores = opt.cores;
+    cc.numThreads = opt.threads;
+    cc.d = opt.d;
+
+    const ProfileReport rep =
+        runProfile(opt.workload, params, machine, cc);
+
+    std::printf("profile       : %s (scale %u, %u threads on %u "
+                "cores, seed %llu, D=%u)\n",
+                opt.workload.c_str(), opt.scale, opt.threads,
+                opt.cores,
+                static_cast<unsigned long long>(opt.seed), opt.d);
+    std::printf("sim ticks     : Ideal=%llu CORD=%llu (overhead %llu, "
+                "%.2fx)\n",
+                static_cast<unsigned long long>(rep.baselineTicks),
+                static_cast<unsigned long long>(rep.cordTicks),
+                static_cast<unsigned long long>(rep.overheadTicks),
+                rep.relative());
+
+    TextTable t(
+        {"Mechanism", "Cycles", "Events", "Share", "Overhead ticks"});
+    double sumOverhead = 0.0;
+    for (const ProfileMechanism &m : rep.mechanisms) {
+        sumOverhead += m.overheadTicks;
+        t.addRow({m.key, std::to_string(m.cycles),
+                  std::to_string(m.events),
+                  TextTable::percent(m.share),
+                  TextTable::num(m.overheadTicks, 0)});
+    }
+    t.print("Overhead decomposition (CORD vs Ideal)");
+    std::printf("decomposed    : %.0f of %llu overhead ticks "
+                "attributed\n",
+                sumOverhead,
+                static_cast<unsigned long long>(rep.overheadTicks));
+    std::printf("order log     : %llu wire bytes behind \"log\"\n",
+                static_cast<unsigned long long>(rep.logWireBytes));
+    for (const auto &[k, sec] : rep.hostWallSec)
+        std::printf("host wall     : %-24s %.6f s\n", k.c_str(), sec);
+
+    if (!opt.manifestPath.empty()) {
+        RunManifest m;
+        m.tool = "cordsim";
+        m.workload = opt.workload;
+        m.seed = opt.seed;
+        m.setConfig("profile", "1");
+        m.setConfig("scale", std::uint64_t(opt.scale));
+        m.setConfig("threads", std::uint64_t(opt.threads));
+        m.setConfig("cores", std::uint64_t(opt.cores));
+        m.setConfig("d", std::uint64_t(opt.d));
+        m.setConfig("coherence",
+                    opt.directory ? "directory" : "snooping");
+        m.completed = true;
+        m.simTicks = rep.cordTicks;
+        m.stampTime();
+        addProfileMetrics(m, rep);
+        m.save(opt.manifestPath);
+        std::printf("manifest      : %s\n", opt.manifestPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -681,6 +833,8 @@ main(int argc, char **argv)
         return runCampaignMode(opt);
     if (opt.explore > 0)
         return runExploreMode(opt);
+    if (opt.profile)
+        return runProfileMode(opt);
 
     RunSetup setup;
     setup.workload = opt.workload;
@@ -859,12 +1013,9 @@ main(int argc, char **argv)
         races.set("races.vc", vcd.races().pairs());
         races.set("races.ideal", ideal.races().pairs());
         m.metrics.add("", races);
-        if (tracer) {
-            StatRegistry ts;
-            ts.set("trace.totalEvents", tracer->total());
-            ts.set("trace.droppedEvents", tracer->dropped());
-            m.metrics.add("", ts);
-        }
+        // Tracer self-accounting (obs.tracer.total/dropped) arrives
+        // through out.stats -- the runner exports it whenever a tracer
+        // is active, so campaign workers report it too.
         m.save(opt.manifestPath);
         std::printf("manifest      : %s\n", opt.manifestPath.c_str());
     }

@@ -11,6 +11,21 @@
  *                           total / mean per metric)
  *   check-trace T.json      validate a Chrome-trace file produced by
  *                           `cordsim --trace`; exit 1 on schema errors
+ *   profile M.json...       render the overhead decomposition written
+ *                           by `cordsim --profile --manifest`; exit 1
+ *                           when a decomposition fails to sum to the
+ *                           measured overhead within 1%
+ *   watch HB.jsonl          tail/summarize a `cordsim --heartbeat`
+ *                           stream: progress, stragglers, timeouts
+ *                           (--summary prints the summary only)
+ *   bench-history record B.json   append a bench manifest to the
+ *                           perf-trajectory db (--db, default
+ *                           BENCH_history.jsonl)
+ *   bench-history show      render the db with per-entry deltas
+ *   bench-history check B.json    compare a bench manifest against the
+ *                           db's last entry for the same bench; exit 1
+ *                           when --metric regressed below --min-ratio
+ *                           (or by more than --max-regress percent)
  *
  * --jobs N parses and flattens manifests on N worker threads (show and
  * agg over large campaign directories); output order and aggregates
@@ -20,6 +35,7 @@
  * 2 usage or I/O error.  Schemas: docs/OBSERVABILITY.md.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +46,7 @@
 #include <vector>
 
 #include "harness/exec.h"
+#include "harness/flight.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -42,11 +59,18 @@ namespace
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: cordstat show [--jobs N] M.json...\n"
-                 "       cordstat diff [--tol PCT] A.json B.json\n"
-                 "       cordstat agg [--jobs N] M.json...\n"
-                 "       cordstat check-trace T.json\n");
+    std::fprintf(
+        stderr,
+        "usage: cordstat show [--jobs N] M.json...\n"
+        "       cordstat diff [--tol PCT] A.json B.json\n"
+        "       cordstat agg [--jobs N] M.json...\n"
+        "       cordstat check-trace T.json\n"
+        "       cordstat profile M.json...\n"
+        "       cordstat watch [--summary] HB.jsonl\n"
+        "       cordstat bench-history record [--db F] B.json\n"
+        "       cordstat bench-history show [--db F] [--metric M]\n"
+        "       cordstat bench-history check [--db F] [--metric M]\n"
+        "           [--max-regress PCT | --min-ratio R] B.json\n");
     std::exit(2);
 }
 
@@ -159,9 +183,18 @@ cmdShow(const std::vector<std::string> &paths)
             std::printf("\n");
         }
         std::printf("metrics   :\n");
-        for (const auto &[name, v] : manifestMetrics(m))
+        const auto metrics = manifestMetrics(m);
+        for (const auto &[name, v] : metrics)
             std::printf("  %-44s %s\n", name.c_str(),
                         fmtNum(v).c_str());
+        // A nonzero drop count means the Chrome trace is a truncated
+        // view of the run -- surface it instead of letting a partial
+        // trace masquerade as a complete one.
+        if (const auto it = metrics.find("obs.tracer.dropped");
+            it != metrics.end() && it->second > 0)
+            std::printf("WARNING   : tracer dropped %s event(s); raise "
+                        "CORD_TRACE_CAPACITY\n",
+                        fmtNum(it->second).c_str());
         if (const JsonValue *tables = m.find("tables")) {
             for (const JsonValue &t : tables->items())
                 std::printf("table     : %s (%zu rows)\n",
@@ -326,26 +359,491 @@ cmdCheckTrace(const std::string &path)
     return errors == 0 ? 0 : 1;
 }
 
+/**
+ * `cordstat profile`: render the per-mechanism overhead decomposition
+ * a `cordsim --profile --manifest` run recorded under the
+ * "profile.<workload>.*" metric prefix.  Re-checks the decomposition
+ * invariant (mechanism overhead ticks sum to the measured CORD-vs-
+ * Ideal overhead within 1%) and exits 1 when it fails to hold.
+ */
+int
+cmdProfile(const std::vector<std::string> &paths)
+{
+    unsigned errors = 0, rendered = 0;
+    for (const std::string &path : paths) {
+        const JsonValue m = loadManifest(path);
+        const auto metrics = manifestMetrics(m);
+
+        // Workloads present: every "profile.<w>.overhead.totalTicks".
+        std::vector<std::string> workloads;
+        for (const auto &[name, v] : metrics) {
+            const std::string pre = "profile.";
+            const std::string suf = ".overhead.totalTicks";
+            if (name.size() > pre.size() + suf.size() &&
+                name.compare(0, pre.size(), pre) == 0 &&
+                name.compare(name.size() - suf.size(), suf.size(),
+                             suf) == 0)
+                workloads.push_back(name.substr(
+                    pre.size(), name.size() - pre.size() - suf.size()));
+        }
+        if (workloads.empty()) {
+            std::fprintf(stderr,
+                         "cordstat: %s: no profile.* metrics (run "
+                         "cordsim --profile --manifest)\n",
+                         path.c_str());
+            ++errors;
+            continue;
+        }
+
+        auto get = [&](const std::string &name) {
+            const auto it = metrics.find(name);
+            return it == metrics.end() ? 0.0 : it->second;
+        };
+
+        for (const std::string &w : workloads) {
+            const std::string p = "profile." + w + ".";
+            const double baseline = get(p + "overhead.baselineTicks");
+            const double cordTicks = get(p + "overhead.cordTicks");
+            const double overhead = get(p + "overhead.totalTicks");
+            std::printf("== %s: %s ==\n", path.c_str(), w.c_str());
+            std::printf("sim ticks : Ideal=%s CORD=%s (overhead %s, "
+                        "%.3fx)\n",
+                        fmtNum(baseline).c_str(),
+                        fmtNum(cordTicks).c_str(),
+                        fmtNum(overhead).c_str(),
+                        baseline > 0 ? cordTicks / baseline : 1.0);
+
+            // Canonical order first, then anything it doesn't cover.
+            std::vector<std::string> mechs;
+            for (const char *k :
+                 {"check", "timestamp", "history", "log"})
+                if (metrics.count(p + "mech." + k + ".cycles"))
+                    mechs.push_back(k);
+            for (const auto &[name, v] : metrics) {
+                const std::string mp = p + "mech.";
+                const std::string suf = ".cycles";
+                if (name.size() > mp.size() + suf.size() &&
+                    name.compare(0, mp.size(), mp) == 0 &&
+                    name.compare(name.size() - suf.size(), suf.size(),
+                                 suf) == 0) {
+                    const std::string key = name.substr(
+                        mp.size(),
+                        name.size() - mp.size() - suf.size());
+                    if (std::find(mechs.begin(), mechs.end(), key) ==
+                        mechs.end())
+                        mechs.push_back(key);
+                }
+            }
+
+            std::printf("%-10s %14s %12s %8s %16s\n", "mechanism",
+                        "cycles", "events", "share", "overhead ticks");
+            double attributed = 0;
+            for (const std::string &k : mechs) {
+                const std::string mp = p + "mech." + k + ".";
+                attributed += get(mp + "overheadTicks");
+                std::printf("%-10s %14s %12s %7.1f%% %16s\n",
+                            k.c_str(),
+                            fmtNum(get(mp + "cycles")).c_str(),
+                            fmtNum(get(mp + "events")).c_str(),
+                            get(mp + "sharePpm") / 1e4,
+                            fmtNum(get(mp + "overheadTicks")).c_str());
+            }
+            const double logBytes = get(p + "log.wireBytes");
+            std::printf("order log : %s wire bytes\n",
+                        fmtNum(logBytes).c_str());
+
+            const double tol = std::max(1.0, 0.01 * overhead);
+            const bool sums = std::fabs(attributed - overhead) <= tol;
+            std::printf("decomposed: %s of %s overhead ticks -- %s\n",
+                        fmtNum(attributed).c_str(),
+                        fmtNum(overhead).c_str(),
+                        sums ? "OK (within 1%)" : "MISMATCH");
+            if (!sums)
+                ++errors;
+            ++rendered;
+        }
+
+        // Host wall-clock costs ride in the volatile section and only
+        // exist when the manifest was saved with it included.
+        if (const JsonValue *hp = m.find("hostProfile"))
+            for (std::size_t i = 0; i < hp->size(); ++i)
+                std::printf("host wall : %-32s %.6f s\n",
+                            hp->keys()[i].c_str(),
+                            hp->items()[i].asNumber());
+    }
+    return errors == 0 && rendered > 0 ? 0 : 1;
+}
+
+/** One parsed heartbeat line plus bookkeeping for `cordstat watch`. */
+struct WatchState
+{
+    bool haveBegin = false;
+    std::string workload;
+    double runs = 0, jobs = 0, schedules = 0;
+    double started = 0, finished = 0, timedOut = 0;
+    double droppedEvents = 0;
+    bool haveEnd = false;
+    double lastT = 0;
+    double wallMin = 0, wallMax = 0, wallSum = 0;
+    std::map<double, double> inFlight; //!< run index -> started t
+};
+
+/**
+ * `cordstat watch`: summarize (or tail) a `cordsim --heartbeat`
+ * stream.  Works on live files: a campaign still running simply has
+ * no campaign_end yet and its unfinished runs show as in-flight.
+ * Exit 0 on a well-formed stream, 1 on schema errors.
+ */
+int
+cmdWatch(const std::string &path, bool summaryOnly)
+{
+    std::string text;
+    if (!readFile(path, text))
+        std::exit(2);
+
+    WatchState st;
+    unsigned errors = 0, lines = 0;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        ++lines;
+
+        std::string err;
+        auto v = JsonValue::parse(line, &err);
+        if (!v || !v->isObject()) {
+            std::fprintf(stderr, "watch: line %u: %s\n", lines,
+                         err.c_str());
+            ++errors;
+            continue;
+        }
+        const std::string event = v->str("event");
+        if (lines == 1 && v->str("schema") != kHeartbeatSchema) {
+            std::fprintf(stderr,
+                         "watch: %s: first line is not a %s "
+                         "campaign_begin\n",
+                         path.c_str(), kHeartbeatSchema);
+            ++errors;
+        }
+        st.lastT = v->num("t");
+        if (event == "campaign_begin") {
+            st.haveBegin = true;
+            st.workload = v->str("workload");
+            st.runs = v->num("runs");
+            st.jobs = v->num("jobs");
+            st.schedules = v->num("schedules");
+        } else if (event == "run_started") {
+            ++st.started;
+            st.inFlight[v->num("run")] = v->num("t");
+        } else if (event == "run_finished") {
+            ++st.finished;
+            st.inFlight.erase(v->num("run"));
+            const JsonValue *to = v->find("timedOut");
+            if (to && to->asBool())
+                ++st.timedOut;
+            const double wall = v->num("wallSeconds");
+            if (st.finished == 1)
+                st.wallMin = st.wallMax = wall;
+            st.wallMin = std::min(st.wallMin, wall);
+            st.wallMax = std::max(st.wallMax, wall);
+            st.wallSum += wall;
+        } else if (event == "campaign_end") {
+            st.haveEnd = true;
+            st.droppedEvents = v->num("droppedEvents");
+        } else {
+            std::fprintf(stderr, "watch: line %u: unknown event '%s'\n",
+                         lines, event.c_str());
+            ++errors;
+        }
+        if (!summaryOnly)
+            std::printf("%10.3fs  %s\n", v->num("t"), line.c_str());
+    }
+
+    if (!st.haveBegin) {
+        std::fprintf(stderr, "watch: %s: no campaign_begin event\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::printf("campaign  : %s, %s run(s) x %s schedule(s) on %s "
+                "job(s) -- %s\n",
+                st.workload.c_str(), fmtNum(st.runs).c_str(),
+                fmtNum(st.schedules).c_str(), fmtNum(st.jobs).c_str(),
+                st.haveEnd ? "finished" : "IN PROGRESS");
+    std::printf("progress  : %s started, %s finished (%s timed out) "
+                "at t=%.3fs\n",
+                fmtNum(st.started).c_str(), fmtNum(st.finished).c_str(),
+                fmtNum(st.timedOut).c_str(), st.lastT);
+    if (st.finished > 0)
+        std::printf("run wall  : min %.3fs / mean %.3fs / max %.3fs\n",
+                    st.wallMin, st.wallSum / st.finished, st.wallMax);
+    // Stragglers: started but unfinished runs, oldest first -- on a
+    // finished stream these are runs that died without a record.
+    for (const auto &[run, t0] : st.inFlight)
+        std::printf("straggler : run %s in flight since t=%.3fs "
+                    "(%.3fs and counting)\n",
+                    fmtNum(run).c_str(), t0, st.lastT - t0);
+    if (st.droppedEvents > 0)
+        std::printf("WARNING   : %s heartbeat event(s) dropped by the "
+                    "byte budget\n",
+                    fmtNum(st.droppedEvents).c_str());
+    return errors == 0 ? 0 : 1;
+}
+
+constexpr const char *kBenchHistorySchema = "cord-bench-history-v1";
+
+/** Load every entry of a bench-history db; missing file -> empty. */
+std::vector<JsonValue>
+loadBenchHistory(const std::string &db)
+{
+    std::vector<JsonValue> entries;
+    std::string text;
+    std::FILE *f = std::fopen(db.c_str(), "rb");
+    if (!f)
+        return entries;
+    std::fclose(f);
+    if (!readFile(db, text))
+        std::exit(2);
+    std::size_t start = 0;
+    unsigned lineNo = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::string err;
+        auto v = JsonValue::parse(line, &err);
+        if (!v || !v->isObject() ||
+            v->str("schema") != kBenchHistorySchema) {
+            std::fprintf(stderr,
+                         "cordstat: %s:%u: not a %s entry%s%s\n",
+                         db.c_str(), lineNo, kBenchHistorySchema,
+                         err.empty() ? "" : ": ", err.c_str());
+            std::exit(2);
+        }
+        entries.push_back(std::move(*v));
+    }
+    return entries;
+}
+
+/**
+ * `cordstat bench-history record`: append one bench manifest to the
+ * perf-trajectory db as a single JSONL entry keyed by bench name
+ * (the manifest's tool) and git stamp, carrying the full flattened
+ * metric map so future `check` runs can gate on any metric.
+ */
+int
+cmdBenchRecord(const std::string &path, const std::string &db)
+{
+    const JsonValue m = loadManifest(path);
+    const auto metrics = manifestMetrics(m);
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kBenchHistorySchema);
+    w.field("bench", m.str("tool"));
+    w.field("git", m.str("git"));
+    w.field("build", m.str("build"));
+    w.field("timestamp", m.str("timestamp"));
+    w.key("metrics");
+    w.beginObject();
+    for (const auto &[name, v] : metrics)
+        w.field(name, v);
+    w.endObject();
+    w.endObject();
+
+    std::FILE *f = std::fopen(db.c_str(), "ab");
+    if (!f) {
+        std::fprintf(stderr, "cordstat: cannot append to %s\n",
+                     db.c_str());
+        return 2;
+    }
+    const std::string line = w.str();
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("recorded %s@%s (%zu metric(s)) -> %s\n",
+                m.str("tool").c_str(), m.str("git").c_str(),
+                metrics.size(), db.c_str());
+    return 0;
+}
+
+double
+benchMetric(const JsonValue &entry, const std::string &metric,
+            bool *ok = nullptr)
+{
+    if (ok)
+        *ok = false;
+    const JsonValue *ms = entry.find("metrics");
+    if (!ms)
+        return 0.0;
+    const JsonValue *v = ms->find(metric);
+    if (!v || !v->isNumber())
+        return 0.0;
+    if (ok)
+        *ok = true;
+    return v->asNumber();
+}
+
+/** `cordstat bench-history show`: the trajectory with deltas. */
+int
+cmdBenchShow(const std::string &db, const std::string &metric)
+{
+    const auto entries = loadBenchHistory(db);
+    if (entries.empty()) {
+        std::printf("%s: no entries\n", db.c_str());
+        return 0;
+    }
+    std::printf("%-14s %-14s %-20s %16s %8s\n", "bench", "git",
+                "timestamp", metric.c_str(), "delta");
+    std::map<std::string, double> lastValue;
+    for (const JsonValue &e : entries) {
+        const std::string bench = e.str("bench");
+        bool ok = false;
+        const double v = benchMetric(e, metric, &ok);
+        std::string delta = "-";
+        if (ok) {
+            const auto it = lastValue.find(bench);
+            if (it != lastValue.end() && it->second != 0) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%+.1f%%",
+                              100.0 * (v - it->second) / it->second);
+                delta = buf;
+            }
+            lastValue[bench] = v;
+        }
+        std::printf("%-14s %-14s %-20s %16s %8s\n", bench.c_str(),
+                    e.str("git").c_str(), e.str("timestamp").c_str(),
+                    ok ? fmtNum(v).c_str() : "-", delta.c_str());
+    }
+    return 0;
+}
+
+/**
+ * `cordstat bench-history check`: gate a bench manifest against the
+ * db's most recent entry for the same bench.  The candidate passes
+ * when candidate/baseline >= minRatio; entries matching the
+ * candidate's own git+timestamp are skipped so a record-then-check
+ * sequence never compares the run against itself.  Exit 0 pass (or
+ * no baseline yet), 1 regression, 2 missing metric.
+ */
+int
+cmdBenchCheck(const std::string &path, const std::string &db,
+              const std::string &metric, double minRatio)
+{
+    const JsonValue m = loadManifest(path);
+    const auto metrics = manifestMetrics(m);
+    const auto it = metrics.find(metric);
+    if (it == metrics.end()) {
+        std::fprintf(stderr, "cordstat: %s has no metric %s\n",
+                     path.c_str(), metric.c_str());
+        return 2;
+    }
+    const double cand = it->second;
+    const std::string bench = m.str("tool");
+
+    const std::vector<JsonValue> entries = loadBenchHistory(db);
+    const JsonValue *base = nullptr;
+    for (const auto &e : entries) {
+        if (e.str("bench") != bench)
+            continue;
+        if (e.str("git") == m.str("git") &&
+            e.str("timestamp") == m.str("timestamp"))
+            continue;
+        base = &e;
+    }
+    if (!base) {
+        std::printf("%s: no prior %s entry in %s -- nothing to gate "
+                    "against\n",
+                    path.c_str(), bench.c_str(), db.c_str());
+        return 0;
+    }
+    bool ok = false;
+    const double baseV = benchMetric(*base, metric, &ok);
+    if (!ok || baseV == 0) {
+        std::fprintf(stderr,
+                     "cordstat: baseline %s@%s has no usable %s\n",
+                     bench.c_str(), base->str("git").c_str(),
+                     metric.c_str());
+        return 2;
+    }
+    const double ratio = cand / baseV;
+    const bool pass = ratio >= minRatio;
+    std::printf("%s: %s %s vs %s@%s %s -- ratio %.3fx (floor %.3fx) "
+                "%s\n",
+                bench.c_str(), metric.c_str(), fmtNum(cand).c_str(),
+                base->str("git").c_str(), base->str("timestamp").c_str(),
+                fmtNum(baseV).c_str(), ratio, minRatio,
+                pass ? "PASS" : "REGRESSION");
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         usage();
     const std::string cmd = argv[1];
+    int argStart = 2;
+    std::string sub;
+    if (cmd == "bench-history") {
+        if (argc < 3)
+            usage();
+        sub = argv[2];
+        argStart = 3;
+    }
 
     double tolPct = 0.0;
     g_jobs = defaultJobs();
+    std::string db = "BENCH_history.jsonl";
+    std::string metric = "perf.total.eventsPerSec";
+    double maxRegressPct = 10.0;
+    double minRatio = 0.0; // 0 = derive from --max-regress
+    bool summary = false;
     std::vector<std::string> paths;
-    for (int i = 2; i < argc; ++i) {
+    for (int i = argStart; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc)
             tolPct = std::atof(argv[++i]);
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             g_jobs = resolveJobs(
                 static_cast<unsigned>(std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc)
+            db = argv[++i];
+        else if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc)
+            metric = argv[++i];
+        else if (std::strcmp(argv[i], "--max-regress") == 0 &&
+                 i + 1 < argc)
+            maxRegressPct = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--min-ratio") == 0 &&
+                 i + 1 < argc)
+            minRatio = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--summary") == 0)
+            summary = true;
         else
             paths.push_back(argv[i]);
+    }
+    if (minRatio == 0.0)
+        minRatio = 1.0 - maxRegressPct / 100.0;
+
+    if (cmd == "bench-history") {
+        if (sub == "record" && paths.size() == 1)
+            return cmdBenchRecord(paths[0], db);
+        if (sub == "show" && paths.empty())
+            return cmdBenchShow(db, metric);
+        if (sub == "check" && paths.size() == 1)
+            return cmdBenchCheck(paths[0], db, metric, minRatio);
+        usage();
     }
     if (paths.empty())
         usage();
@@ -358,5 +856,9 @@ main(int argc, char **argv)
         return cmdAgg(paths);
     if (cmd == "check-trace" && paths.size() == 1)
         return cmdCheckTrace(paths[0]);
+    if (cmd == "profile")
+        return cmdProfile(paths);
+    if (cmd == "watch" && paths.size() == 1)
+        return cmdWatch(paths[0], summary);
     usage();
 }
