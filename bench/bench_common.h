@@ -53,6 +53,7 @@
 #include "harness/table.h"
 #include "obs/manifest.h"
 #include "sim/logging.h"
+#include "sim/rng.h"
 #include "workloads/workload.h"
 
 namespace cord
@@ -67,6 +68,39 @@ envUnsigned(const char *name, unsigned dflt)
     if (!v || !*v)
         return dflt;
     return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+/**
+ * Substream tags for deriving the bench binaries' seeds from the
+ * CORD_SEED base via Rng::deriveSeed, replacing the historical ad-hoc
+ * `seed * k + c` arithmetic (which made nearby base seeds produce
+ * correlated workload shapes).  One tag per independent stream:
+ * workload shape, campaign injection picks, and bench_orderlog's
+ * deliberately distinct corpus stream.
+ */
+constexpr std::uint64_t kBenchWorkloadSeedTag = 0xbe5d;
+constexpr std::uint64_t kBenchCampaignSeedTag = 0xca3b;
+constexpr std::uint64_t kBenchOrderlogSeedTag = 0x0a6c;
+
+/** The CORD_SEED base every bench stream is derived from. */
+inline std::uint64_t
+baseSeed()
+{
+    return envUnsigned("CORD_SEED", 1);
+}
+
+/** Workload-shape seed (WorkloadParams::seed) for bench runs. */
+inline std::uint64_t
+workloadSeed()
+{
+    return Rng::deriveSeed(baseSeed(), kBenchWorkloadSeedTag);
+}
+
+/** Campaign injection-pick seed (CampaignConfig::seed). */
+inline std::uint64_t
+campaignSeed()
+{
+    return Rng::deriveSeed(baseSeed(), kBenchCampaignSeedTag);
 }
 
 /** Options every bench binary accepts (see the file comment). */
@@ -208,11 +242,11 @@ campaignFor(const std::string &app)
 {
     CampaignConfig cfg;
     cfg.workload = app;
-    cfg.params.numThreads = 4;
+    cfg.params.numThreads = kDefaultNumThreads;
     cfg.params.scale = envUnsigned("CORD_SCALE", 2);
-    cfg.params.seed = envUnsigned("CORD_SEED", 1) * 7 + 5;
+    cfg.params.seed = workloadSeed();
     cfg.injections = envUnsigned("CORD_INJECTIONS", 30);
-    cfg.seed = envUnsigned("CORD_SEED", 1) * 101 + 13;
+    cfg.seed = campaignSeed();
     cfg.jobs = args().jobs;
     attachLintObserver(cfg);
     return cfg;
@@ -236,7 +270,7 @@ writeCampaignManifest(
     m.setConfig("scale", std::uint64_t(envUnsigned("CORD_SCALE", 2)));
     m.setConfig("injections",
                 std::uint64_t(envUnsigned("CORD_INJECTIONS", 30)));
-    m.setConfig("threads", std::uint64_t(4));
+    m.setConfig("threads", std::uint64_t(kDefaultNumThreads));
     for (const auto &[app, r] : results)
         addCampaignMetrics(m, app, r);
     m.save(args().manifestPath, /*includeVolatile=*/false);

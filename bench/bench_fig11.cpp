@@ -34,9 +34,9 @@ main(int argc, char **argv)
             const std::string &app = apps[i];
             std::fprintf(stderr, "  [perf] %s...\n", app.c_str());
             WorkloadParams params;
-            params.numThreads = 4;
+            params.numThreads = kDefaultNumThreads;
             params.scale = bench::envUnsigned("CORD_SCALE", 2);
-            params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
+            params.seed = bench::workloadSeed();
             MachineConfig machine;
             machine.computeScale =
                 bench::envUnsigned("CORD_COMPUTE_SCALE", 256);

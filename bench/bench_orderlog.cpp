@@ -79,9 +79,10 @@ main(int argc, char **argv)
             const std::string &app = apps[idx];
             std::fprintf(stderr, "  [orderlog] %s...\n", app.c_str());
             WorkloadParams params;
-            params.numThreads = 4;
+            params.numThreads = kDefaultNumThreads;
             params.scale = bench::envUnsigned("CORD_SCALE", 2);
-            params.seed = bench::envUnsigned("CORD_SEED", 1) * 3 + 11;
+            params.seed = Rng::deriveSeed(bench::baseSeed(),
+                                          bench::kBenchOrderlogSeedTag);
 
             // Clean recording + replay.
             CordConfig cc;

@@ -69,7 +69,7 @@ perfSpecs()
     specs.push_back(cordSpec(16, "CORD"));
     specs.push_back(DetectorSpec{
         "Ideal",
-        [](unsigned, unsigned numThreads) {
+        [](const MachineConfig &, unsigned numThreads) {
             return std::make_unique<IdealDetector>(numThreads);
         }});
     DetectorSpec vc = vcInfCacheSpec();
@@ -83,9 +83,9 @@ PerfCell
 measure(const std::string &app, const DetectorSpec &spec)
 {
     WorkloadParams params;
-    params.numThreads = 4;
+    params.numThreads = kDefaultNumThreads;
     params.scale = bench::envUnsigned("CORD_SCALE", 2);
-    params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
+    params.seed = bench::workloadSeed();
     MachineConfig machine;
 
     PerfCell cell;
@@ -93,7 +93,7 @@ measure(const std::string &app, const DetectorSpec &spec)
     cell.detector = spec.label;
 
     auto once = [&]() {
-        auto det = spec.make(machine.numCores, params.numThreads);
+        auto det = spec.make(machine, params.numThreads);
         RunSetup setup;
         setup.workload = app;
         setup.params = params;
@@ -146,7 +146,7 @@ main(int argc, char **argv)
     manifest.seed = bench::envUnsigned("CORD_SEED", 1);
     manifest.setConfig("scale",
                        std::uint64_t(bench::envUnsigned("CORD_SCALE", 2)));
-    manifest.setConfig("threads", std::uint64_t(4));
+    manifest.setConfig("threads", std::uint64_t(kDefaultNumThreads));
     manifest.setConfig("repeat", std::uint64_t(bench::args().repeat));
     manifest.setConfig("warmup", std::uint64_t(bench::args().warmup));
 #ifdef CORD_LEGACY_KERNEL

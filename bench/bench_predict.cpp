@@ -61,9 +61,9 @@ DecodedTrace
 recordTrace(const std::string &app)
 {
     WorkloadParams params;
-    params.numThreads = 4;
+    params.numThreads = kDefaultNumThreads;
     params.scale = bench::envUnsigned("CORD_SCALE", 2);
-    params.seed = bench::envUnsigned("CORD_SEED", 1) * 7 + 5;
+    params.seed = bench::workloadSeed();
     MachineConfig machine;
 
     TraceRecorder rec;
@@ -118,7 +118,7 @@ main(int argc, char **argv)
     manifest.seed = bench::envUnsigned("CORD_SEED", 1);
     manifest.setConfig("scale",
                        std::uint64_t(bench::envUnsigned("CORD_SCALE", 2)));
-    manifest.setConfig("threads", std::uint64_t(4));
+    manifest.setConfig("threads", std::uint64_t(kDefaultNumThreads));
     manifest.setConfig("repeat", std::uint64_t(bench::args().repeat));
     manifest.setConfig("warmup", std::uint64_t(bench::args().warmup));
     manifest.stampTime();

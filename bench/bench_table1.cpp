@@ -43,7 +43,7 @@ main(int argc, char **argv)
     manifest.seed = 7;
     manifest.setConfig("scale",
                        std::uint64_t(bench::envUnsigned("CORD_SCALE", 2)));
-    manifest.setConfig("threads", std::uint64_t(4));
+    manifest.setConfig("threads", std::uint64_t(kDefaultNumThreads));
     if (bench::envUnsigned("CORD_PROFILE", 0))
         manifest.setConfig("profile", "1");
     manifest.stampTime();

@@ -49,6 +49,9 @@ cordlintUsageText()
         "  --sample-rate N     prediction sampling (superset only\n"
         "                      guaranteed at 1)\n"
         "  --d N               CORD margin of the explored runs\n"
+        "  --fail-on-escape    exit nonzero when a manifested race\n"
+        "                      escapes the prediction (escapes are\n"
+        "                      classified warnings by default)\n"
         "\n"
         "any mode:\n"
         "  --json              emit the report as JSON instead of text\n"
@@ -223,6 +226,9 @@ parseOrThrow(const std::vector<std::string> &args)
         } else if (a == "--known-races") {
             xvalFlag();
             cli.knownRaces = true;
+        } else if (a == "--fail-on-escape") {
+            xvalFlag();
+            cli.failOnEscape = true;
         } else {
             fail("unknown option '" + a + "'");
         }

@@ -75,6 +75,11 @@ struct CordlintCli
     bool haveInjection = false;
     InjectionPick pick;
     bool knownRaces = false;
+
+    /** Promote classified prediction escapes (warnings by default --
+     *  they are documented single-trace limits, see analysis/xval.h)
+     *  to errors: the strict gate for curated CI configurations. */
+    bool failOnEscape = false;
 };
 
 /** Parse argv[1..argc-1]; never exits, never prints. */

@@ -44,6 +44,50 @@ struct XvalSpec
     PredictOptions predict;
 };
 
+/**
+ * Why a manifested racy word escaped the baseline-trace predictor.
+ * Every kind is a *fundamental single-trace limit* -- the information
+ * the predictor would have needed is simply absent from the baseline
+ * schedule's trace -- not a predictor bug (a word whose baseline
+ * accesses contain a W-unordered conflicting pair is always predicted,
+ * by the soundness argument in predict.h).
+ */
+enum class EscapeKind : std::uint8_t
+{
+    /** The word was never accessed in the baseline schedule at all
+     *  (e.g. a branch only a different interleaving takes). */
+    UnobservedWord,
+
+    /** Only one thread touched the word in the baseline, so no
+     *  cross-thread pair exists to predict from. */
+    SingleThreadInBaseline,
+
+    /** Multiple threads touched the word, but every conflicting pair
+     *  (if any) was ordered by the baseline's *observed* reads-from
+     *  synchronization -- e.g. two critical sections whose lock
+     *  acquisition order flips in another schedule (the volrend
+     *  escape). */
+    OrderedInBaseline,
+};
+
+/** Stable lowercase name of an escape kind (for findings/JSON). */
+const char *escapeKindName(EscapeKind k);
+
+/**
+ * One escaped word with its classification witness: what the baseline
+ * trace actually contained for the word, and the first explored
+ * schedule in which the Ideal detector saw it race.
+ */
+struct XvalEscape
+{
+    Addr word = 0;
+    EscapeKind kind = EscapeKind::UnobservedWord;
+    unsigned firstSchedule = 0;         //!< first manifesting schedule
+    std::uint64_t baselineAccesses = 0; //!< accesses to the word
+    std::uint64_t baselineWrites = 0;   //!< of which writes
+    unsigned baselineThreads = 0;       //!< distinct accessing threads
+};
+
 /** Outcome of one cross-validation. */
 struct XvalResult
 {
@@ -58,14 +102,23 @@ struct XvalResult
     /** Manifested words the predictor missed (empty = superset holds). */
     std::vector<Addr> missedWords;
 
+    /** Per-miss classification, parallel to missedWords. */
+    std::vector<XvalEscape> escapes;
+
     bool superset() const { return missedWords.empty(); }
 };
 
 /** Explore, predict from the baseline trace, compare. */
 XvalResult runXval(const XvalSpec &spec);
 
-/** Render a cross-validation into lint findings and metrics. */
-void reportXval(const XvalResult &r, LintReport &report);
+/**
+ * Render a cross-validation into lint findings and metrics.  Escapes
+ * are reported as structured warnings carrying the classification
+ * witness; @p failOnEscape promotes them to errors (the strict gate CI
+ * applies to its curated workload set).
+ */
+void reportXval(const XvalResult &r, LintReport &report,
+                bool failOnEscape = false);
 
 } // namespace cord
 

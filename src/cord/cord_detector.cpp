@@ -1,6 +1,7 @@
 #include "cord/cord_detector.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/profiler.h"
 #include "obs/tracer.h"
@@ -8,6 +9,23 @@
 
 namespace cord
 {
+
+void
+CordConfig::deriveGeometry(const MachineConfig &m, unsigned threads)
+{
+    numCores = m.numCores;
+    numThreads = threads;
+    memTsBanks =
+        m.coherence == CoherenceKind::Directory ? m.numCores : 1;
+}
+
+CordConfig
+CordConfig::forMachine(const MachineConfig &m, unsigned threads)
+{
+    CordConfig c;
+    c.deriveGeometry(m, threads);
+    return c;
+}
 
 CordDetector::CordDetector(const CordConfig &cfg, std::string name)
     : Detector(std::move(name)), cfg_(cfg)
@@ -17,6 +35,12 @@ CordDetector::CordDetector(const CordConfig &cfg, std::string name)
     cord_assert(cfg_.entriesPerLine >= 1 && cfg_.entriesPerLine <= 2,
                 "CORD keeps one or two timestamps per line");
     cord_assert(cfg_.d >= 1, "the sync-read margin D must be >= 1");
+    cord_assert(cfg_.memTsBanks >= 1,
+                "at least one main-memory timestamp bank");
+    memTsBanks_ = cfg_.memTsBanks;
+    memReadTs_.assign(memTsBanks_, 0);
+    memWriteTs_.assign(memTsBanks_, 0);
+    trackSharers_ = cfg_.sharerProbes && cfg_.numCores <= 64;
     caches_.reserve(cfg_.numCores);
     for (unsigned i = 0; i < cfg_.numCores; ++i) {
         if (cfg_.infiniteResidency)
@@ -47,29 +71,75 @@ CordDetector::CordDetector(const CordConfig &cfg, std::string name)
     occupancyGauge_ = stats_.gaugeHandle("cord.historyOccupancy");
 }
 
+Ts64
+CordDetector::memReadTs() const
+{
+    return *std::max_element(memReadTs_.begin(), memReadTs_.end());
+}
+
+Ts64
+CordDetector::memWriteTs() const
+{
+    return *std::max_element(memWriteTs_.begin(), memWriteTs_.end());
+}
+
 void
-CordDetector::foldIntoMemTs(const LineState &ls, Tick now, FoldCause cause)
+CordDetector::foldIntoMemTs(const LineState &ls, Addr lineA, Tick now,
+                            FoldCause cause)
 {
     if (!cfg_.memTimestamps)
         return;
+    const unsigned bank = memTsBank(lineA);
     bool changed = false;
     for (const Entry &e : ls.e) {
         if (!e.valid)
             continue;
-        if (e.readBits && e.ts > memReadTs_) {
-            memReadTs_ = e.ts;
+        if (e.readBits && e.ts > memReadTs_[bank]) {
+            memReadTs_[bank] = e.ts;
             changed = true;
         }
-        if (e.writeBits && e.ts > memWriteTs_) {
-            memWriteTs_ = e.ts;
+        if (e.writeBits && e.ts > memWriteTs_[bank]) {
+            memWriteTs_[bank] = e.ts;
             changed = true;
         }
     }
     if (changed) {
         memTsUpdates_.inc();
         if (sink_)
-            sink_->memTsBroadcast(now, cause);
+            sink_->memTsBroadcast(now, cause, lineA);
     }
+}
+
+void
+CordDetector::sharerAdd(Addr addr, CoreId core)
+{
+    if (!trackSharers_)
+        return;
+    sharers_[lineAddr(addr)] |= std::uint64_t(1) << core;
+}
+
+void
+CordDetector::sharerRemove(Addr addr, CoreId core)
+{
+    if (!trackSharers_)
+        return;
+    const Addr la = lineAddr(addr);
+    std::uint64_t *m = sharers_.find(la);
+    if (!m)
+        return;
+    *m &= ~(std::uint64_t(1) << core);
+    if (*m == 0)
+        sharers_.erase(la);
+}
+
+unsigned
+CordDetector::remoteSharers(CoreId core, Addr addr)
+{
+    unsigned n = 0;
+    for (CoreId oc = 0; oc < cfg_.numCores; ++oc)
+        if (oc != core && caches_[oc].find(addr))
+            ++n;
+    return n;
 }
 
 CordDetector::SnoopResult
@@ -78,14 +148,15 @@ CordDetector::snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock)
     SnoopResult sr;
     const std::uint16_t wbit =
         static_cast<std::uint16_t>(1u << wordInLine(addr));
-    for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
-        if (oc == core)
-            continue;
+    const auto probe = [&](CoreId oc) {
         LineState *ls = caches_[oc].find(addr);
         if (!ls)
-            continue;
+            return;
         sr.anyRemoteLine = true;
-        // The snooped transaction clears remote check-filter bits: the
+        ++sr.remoteSharers;
+        if (oc < 64)
+            sr.remoteSharerMask |= std::uint64_t(1) << oc;
+        // The probed transaction clears remote check-filter bits: the
         // remote cache can no longer assume the line is conflict-free.
         ls->filterW = false;
         if (isWrite)
@@ -115,6 +186,23 @@ CordDetector::snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock)
             if (e.writeBits != 0 && !isSynchronized(clock, e.ts, cfg_.d))
                 sr.lineClearForRead = false;
         }
+    };
+    if (trackSharers_) {
+        // Directory-style point-to-point probes: visit exactly the
+        // sharer set, in ascending core order -- the same cores, in
+        // the same order, a broadcast scan would have found resident,
+        // so the result is bit-identical to the broadcast path.
+        const std::uint64_t *mp = sharers_.find(lineAddr(addr));
+        std::uint64_t m = mp ? *mp : 0;
+        m &= ~(std::uint64_t(1) << core);
+        while (m != 0) {
+            probe(static_cast<CoreId>(std::countr_zero(m)));
+            m &= m - 1;
+        }
+    } else {
+        for (CoreId oc = 0; oc < cfg_.numCores; ++oc)
+            if (oc != core)
+                probe(oc);
     }
     // A write filter requires sole ownership (MESI M/E): any fetch of
     // the line by another core goes on the bus and clears it again.
@@ -126,19 +214,34 @@ void
 CordDetector::invalidateRemote(CoreId core, Addr addr, Tick now)
 {
     ProfWallTimer pt(ProfDomain::CordTimestamp);
-    for (CoreId oc = 0; oc < cfg_.numCores; ++oc) {
-        if (oc == core)
-            continue;
+    const auto dropAt = [&](CoreId oc) {
         const bool dropped = caches_[oc].invalidate(
             addr, [&](Addr, LineState &st) {
-                foldIntoMemTs(st, now, FoldCause::Invalidation);
+                foldIntoMemTs(st, addr, now, FoldCause::Invalidation);
             });
         if (dropped) {
+            sharerRemove(addr, oc);
             coherenceInvalidations_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
                         kInvalidThread, oc, addr, 0);
         }
+    };
+    if (trackSharers_) {
+        // Directed invalidations: only sharers can drop anything, and
+        // ascending-order iteration keeps the fold sequence identical
+        // to the full scan.
+        const std::uint64_t *mp = sharers_.find(lineAddr(addr));
+        std::uint64_t m = mp ? *mp : 0;
+        m &= ~(std::uint64_t(1) << core);
+        while (m != 0) {
+            dropAt(static_cast<CoreId>(std::countr_zero(m)));
+            m &= m - 1;
+        }
+    } else {
+        for (CoreId oc = 0; oc < cfg_.numCores; ++oc)
+            if (oc != core)
+                dropAt(oc);
     }
 }
 
@@ -152,12 +255,15 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
         static_cast<std::uint16_t>(1u << wordInLine(addr));
     LineState &ls = caches_[core].getOrInsert(
         addr, [&](Addr victimAddr, LineState &st) {
-            foldIntoMemTs(st, now, FoldCause::LineDisplacement);
+            foldIntoMemTs(st, victimAddr, now,
+                          FoldCause::LineDisplacement);
+            sharerRemove(victimAddr, core);
             lineDisplacements_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
                         kInvalidThread, core, victimAddr, 0);
         });
+    sharerAdd(addr, core);
 
     // Find an entry already carrying this clock value.
     Entry *slot = nullptr;
@@ -180,7 +286,7 @@ CordDetector::timestampLocal(CoreId core, Addr addr, bool isWrite,
         if (ls.e[victim].valid) {
             LineState tmp;
             tmp.e[0] = ls.e[victim];
-            foldIntoMemTs(tmp, now, FoldCause::EntryDisplacement);
+            foldIntoMemTs(tmp, addr, now, FoldCause::EntryDisplacement);
             entryDisplacements_.inc();
             if (EventTracer *t = EventTracer::active())
                 t->emit(TraceEventKind::HistoryDisplacement, now,
@@ -265,7 +371,8 @@ CordDetector::runWalker(Tick now)
                 if (minClk > e.ts && minClk - e.ts > cfg_.staleThreshold) {
                     LineState tmp;
                     tmp.e[0] = e;
-                    foldIntoMemTs(tmp, now, FoldCause::WalkerEviction);
+                    foldIntoMemTs(tmp, lineA, now,
+                                  FoldCause::WalkerEviction);
                     walkerEvictions_.inc();
                     if (EventTracer *t = EventTracer::active())
                         t->emit(TraceEventKind::HistoryDisplacement,
@@ -338,7 +445,8 @@ CordDetector::onAccess(const MemEvent &ev)
         // A check from a cache hit is extra address/timestamp-bus
         // traffic; a miss's check piggybacks on the miss transaction.
         if (localHit && sink_)
-            sink_->raceCheck(ev.tick);
+            sink_->raceCheck(ev.tick, ev.addr, sr.remoteSharers,
+                             sr.remoteSharerMask);
         memServed = !localHit && !sr.anyRemoteLine;
     }
 
@@ -374,15 +482,20 @@ CordDetector::onAccess(const MemEvent &ev)
                 newClock = target;
         }
         if (cfg_.memTimestamps) {
-            // Every race check also compares against the (locally
-            // replicated) main-memory timestamps: conflicting history
-            // may have been displaced or invalidated out of all caches
-            // and folded into them, and correct order-recording must
-            // still order this access after it (Section 2.5).  Races
-            // "found" this way are never reported -- they may be false
-            // (the memory timestamp covers all of memory).
-            const Ts64 tsMem =
-                isW ? std::max(memReadTs_, memWriteTs_) : memWriteTs_;
+            // Every race check also compares against the main-memory
+            // timestamps of the accessed line's home bank (the paper's
+            // snooping design replicates a single pair, memTsBanks ==
+            // 1; a directory keeps one pair per slice): conflicting
+            // history may have been displaced or invalidated out of
+            // all caches and folded into them, and correct
+            // order-recording must still order this access after it
+            // (Section 2.5).  Races "found" this way are never
+            // reported -- they may be false (the bank covers all lines
+            // homed on its slice).
+            const unsigned bank = memTsBank(ev.addr);
+            const Ts64 memR = memReadTs_[bank];
+            const Ts64 memW = memWriteTs_[bank];
+            const Ts64 tsMem = isW ? std::max(memR, memW) : memW;
             if (isOrderRace(newClock, tsMem)) {
                 newClock = tsMem + 1;
                 memTsOrderUpdates_.inc();
@@ -391,8 +504,8 @@ CordDetector::onAccess(const MemEvent &ev)
                 if (memServed)
                     memServedOrderUpdates_.inc();
             }
-            if (sync && !isW && memWriteTs_ + 1 > newClock)
-                newClock = memWriteTs_ + 1;
+            if (sync && !isW && memW + 1 > newClock)
+                newClock = memW + 1;
         }
     }
 

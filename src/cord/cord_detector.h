@@ -19,6 +19,8 @@
 #include "cord/history_cache.h"
 #include "cord/order_log.h"
 #include "mem/geometry.h"
+#include "mem/machine_config.h"
+#include "sim/flat_map.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -28,8 +30,8 @@ namespace cord
 /** Configuration of one CORD instance (ablation knobs included). */
 struct CordConfig
 {
-    unsigned numCores = 4;
-    unsigned numThreads = 4;
+    unsigned numCores = kDefaultNumCores;
+    unsigned numThreads = kDefaultNumThreads;
 
     /** Sync-read clock-update margin D (paper Section 2.6). */
     std::uint32_t d = 16;
@@ -43,6 +45,37 @@ struct CordConfig
 
     /** Main-memory timestamp mechanism (Section 2.5). */
     bool memTimestamps = true;
+
+    /**
+     * Main-memory read/write timestamp banks.  1 reproduces the
+     * paper's snooping design: a single replicated pair covering all
+     * of memory.  A directory machine instead keeps one pair per
+     * directory slice (line-interleaved), so a displaced history only
+     * coarsens ordering for lines homed on the same slice and the
+     * update is a directed slice message, not a broadcast.
+     */
+    unsigned memTsBanks = 1;
+
+    /**
+     * Probe only the directory's exact sharer set on a race check
+     * instead of scanning every remote core.  Detection is provably
+     * identical (non-sharers contribute nothing to a snoop); false is
+     * the broadcast-scan ablation used to cross-check that claim.
+     * Sharer-set tracking needs numCores <= 64; larger machines fall
+     * back to the broadcast scan automatically.
+     */
+    bool sharerProbes = true;
+
+    /**
+     * Derive geometry from the machine: numCores, numThreads, and
+     * memTs banking (one bank per directory slice on Directory
+     * machines, the paper's single replicated pair under snooping).
+     * The single source of truth every spec/driver goes through.
+     */
+    void deriveGeometry(const MachineConfig &m, unsigned threads);
+
+    /** Default CORD configuration for @p m (see deriveGeometry). */
+    static CordConfig forMachine(const MachineConfig &m, unsigned threads);
 
     /** Per-line check-filter bits (Section 2.7.2). */
     bool checkFilterBits = true;
@@ -85,9 +118,36 @@ class CordDetector : public Detector
     /** Current logical clock of @p tid (epoch-extended). */
     Ts64 threadClock(ThreadId tid) const { return writers_[tid].clock(); }
 
-    /** Main-memory read/write timestamps (Section 2.5). */
-    Ts64 memReadTs() const { return memReadTs_; }
-    Ts64 memWriteTs() const { return memWriteTs_; }
+    /** Main-memory read/write timestamps (Section 2.5): the maximum
+     *  over all banks (equal to the bank value when memTsBanks == 1). */
+    Ts64 memReadTs() const;
+    Ts64 memWriteTs() const;
+
+    /** Banked main-memory timestamps of @p addr's home slice. */
+    Ts64 memReadTs(Addr addr) const { return memReadTs_[memTsBank(addr)]; }
+    Ts64 memWriteTs(Addr addr) const
+    {
+        return memWriteTs_[memTsBank(addr)];
+    }
+
+    /** Directory slice (bank) that homes @p addr (line-interleaved). */
+    unsigned
+    memTsBank(Addr addr) const
+    {
+        return static_cast<unsigned>((lineAddr(addr) / kLineBytes) %
+                                     memTsBanks_);
+    }
+
+    /** Remote cores whose history caches hold @p addr's line -- the
+     *  directory's exact sharer set as seen from @p core (exposed for
+     *  the point-to-point-equals-broadcast equivalence tests). */
+    unsigned remoteSharers(CoreId core, Addr addr);
+
+    DetectorGeometry
+    geometry() const override
+    {
+        return {cfg_.numCores, cfg_.numThreads};
+    }
 
     const CordConfig &config() const { return cfg_; }
 
@@ -121,17 +181,30 @@ class CordDetector : public Detector
         Ts64 maxWriteTs = 0;           //!< max remote write ts on the word
         bool lineClearForRead = true;  //!< no remote write history in line
         bool lineClearForWrite = true; //!< no remote history at all in line
-        std::array<Ts64, 16> conflictTs{}; //!< individual conflicting ts
+        std::array<Ts64, 64> conflictTs{}; //!< individual conflicting ts
         unsigned numConflicts = 0;
+        unsigned remoteSharers = 0;    //!< remote caches probed (p2p cost)
+        /** Bitmask of the probed cores (bits for cores < 64) -- lets
+         *  the timing sink route each forwarded probe to its target's
+         *  own slice channel instead of serializing on the home. */
+        std::uint64_t remoteSharerMask = 0;
     };
 
-    /** Broadcast a race check for (core, word); gather remote state. */
+    /** Race check for (core, word): a broadcast snoop under snooping,
+     *  a directory-forwarded point-to-point probe of the exact sharer
+     *  set when sharer tracking is on -- bit-identical results. */
     SnoopResult snoop(CoreId core, Addr addr, bool isWrite, Ts64 clock);
 
     /** Fold a displaced/invalidated line history into the main-memory
-     *  timestamps, broadcasting on change (Section 2.5); @p cause
-     *  records which mechanism displaced the history (attribution). */
-    void foldIntoMemTs(const LineState &ls, Tick now, FoldCause cause);
+     *  timestamp bank homing @p lineA, notifying the sink on change
+     *  (Section 2.5); @p cause records which mechanism displaced the
+     *  history (attribution). */
+    void foldIntoMemTs(const LineState &ls, Addr lineA, Tick now,
+                       FoldCause cause);
+
+    /** Sharer-set directory maintenance (numCores <= 64 machines). */
+    void sharerAdd(Addr addr, CoreId core);
+    void sharerRemove(Addr addr, CoreId core);
 
     /** Insert the committed access into the local history. */
     void timestampLocal(CoreId core, Addr addr, bool isWrite, Ts64 clock,
@@ -162,8 +235,15 @@ class CordDetector : public Detector
     std::vector<ThreadId> lastTid_;               //!< per core, migration
 
     OrderLog log_;
-    Ts64 memReadTs_ = 0;
-    Ts64 memWriteTs_ = 0;
+    std::vector<Ts64> memReadTs_;  //!< one per bank (directory slice)
+    std::vector<Ts64> memWriteTs_;
+    unsigned memTsBanks_ = 1;
+
+    /** Line -> bitmask of cores whose history cache holds the line
+     *  (the directory's sharer set); maintained only when
+     *  cfg_.sharerProbes and numCores <= 64. */
+    FlatAddrMap<std::uint64_t> sharers_;
+    bool trackSharers_ = false;
 
     std::uint64_t eventsSeen_ = 0;
     Ts64 maxClockAtLastWalk_ = 0;

@@ -42,12 +42,33 @@ class CordTrafficSink
   public:
     virtual ~CordTrafficSink() = default;
 
-    /** A race check request (address/timestamp bus, no data). */
-    virtual void raceCheck(Tick now) = 0;
+    /**
+     * A race check request (address/timestamp bus, no data).  Under
+     * snooping it is a broadcast; a directory machine routes it to
+     * @p addr's home slice, which forwards one point-to-point probe
+     * per remote sharer (@p sharers is the exact remote-sharer count
+     * the directory would forward to -- 0 when the home slice answers
+     * from its banked memory timestamps alone).  @p sharerMask names
+     * the probed cores (bits for cores < 64) so the probes can be
+     * charged to each target's own channel; a zero mask with a
+     * nonzero count means the sharer identities are unknown (machines
+     * beyond 64 cores) and the sink may serialize conservatively.
+     */
+    virtual void raceCheck(Tick now, Addr addr, unsigned sharers,
+                           std::uint64_t sharerMask) = 0;
 
-    /** A main-memory timestamp update broadcast; @p cause says which
-     *  mechanism produced it (overhead attribution). */
-    virtual void memTsBroadcast(Tick now, FoldCause cause) = 0;
+    /** A main-memory timestamp update: broadcast under snooping, a
+     *  directed update of @p addr's home slice bank under a directory;
+     *  @p cause says which mechanism produced it (attribution). */
+    virtual void memTsBroadcast(Tick now, FoldCause cause, Addr addr) = 0;
+};
+
+/** Core/thread sizing a detector was built for ({0, 0} = agnostic).
+ *  harness/runner.cpp rejects runs whose machine disagrees. */
+struct DetectorGeometry
+{
+    unsigned cores = 0;   //!< 0 = any machine
+    unsigned threads = 0; //!< 0 = any thread count
 };
 
 /** Base class for all detector configurations. */
@@ -68,6 +89,11 @@ class Detector
 
     /** Run ended; flush any pending state. */
     virtual void finish() {}
+
+    /** Geometry this detector was sized for; {0, 0} (the default)
+     *  means it adapts to any machine.  Sized detectors must override
+     *  so the runner can assert machine/detector agreement. */
+    virtual DetectorGeometry geometry() const { return {}; }
 
     /** Data races found so far. */
     const RaceReport &races() const { return report_; }

@@ -39,6 +39,9 @@ class IdealDetector : public Detector
 
     void onAccess(const MemEvent &ev) override;
 
+    /** Core-agnostic (histories are global), but thread-sized. */
+    DetectorGeometry geometry() const override { return {0, numThreads_}; }
+
     /** Current vector clock of @p tid. */
     const VectorClock &threadClock(ThreadId tid) const { return vc_[tid]; }
 

@@ -23,6 +23,7 @@
 #include "cord/history_cache.h"
 #include "cord/vector_clock.h"
 #include "mem/geometry.h"
+#include "mem/machine_config.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -32,8 +33,8 @@ namespace cord
 /** Configuration of a vector-clock detector instance. */
 struct VcConfig
 {
-    unsigned numCores = 4;
-    unsigned numThreads = 4;
+    unsigned numCores = kDefaultNumCores;
+    unsigned numThreads = kDefaultNumThreads;
 
     /** Unbounded residency (InfCache). */
     bool infiniteResidency = false;
@@ -43,6 +44,23 @@ struct VcConfig
 
     /** Vector analog of the main-memory timestamps. */
     bool memTimestamps = true;
+
+    /** Derive geometry from the machine (the single source of truth,
+     *  mirroring CordConfig::deriveGeometry). */
+    void
+    deriveGeometry(const MachineConfig &m, unsigned threads)
+    {
+        numCores = m.numCores;
+        numThreads = threads;
+    }
+
+    static VcConfig
+    forMachine(const MachineConfig &m, unsigned threads)
+    {
+        VcConfig c;
+        c.deriveGeometry(m, threads);
+        return c;
+    }
 };
 
 /** Vector-clock CORD-like race detector. */
@@ -52,6 +70,12 @@ class VcDetector : public Detector
     VcDetector(const VcConfig &cfg, std::string name = "VC");
 
     void onAccess(const MemEvent &ev) override;
+
+    DetectorGeometry
+    geometry() const override
+    {
+        return {cfg_.numCores, cfg_.numThreads};
+    }
 
     const VcConfig &config() const { return cfg_; }
 

@@ -100,17 +100,19 @@ class Simulation : public CordTrafficSink
 
     /// @{ @name CordTrafficSink: charge CORD traffic to the buses
     void
-    raceCheck(Tick now) override
+    raceCheck(Tick now, Addr addr, unsigned sharers,
+              std::uint64_t sharerMask) override
     {
-        const Tick cycles = mem_.chargeRaceCheck(now);
+        const Tick cycles =
+            mem_.chargeRaceCheck(now, addr, sharers, sharerMask);
         if (Profiler *p = Profiler::active())
             p->addCycles(ProfDomain::CordCheck, cycles);
     }
 
     void
-    memTsBroadcast(Tick now, FoldCause cause) override
+    memTsBroadcast(Tick now, FoldCause cause, Addr addr) override
     {
-        const Tick cycles = mem_.chargeMemTsBroadcast(now);
+        const Tick cycles = mem_.chargeMemTsBroadcast(now, addr);
         if (Profiler *p = Profiler::active())
             p->addCycles(cause == FoldCause::Invalidation
                              ? ProfDomain::CordTimestamp

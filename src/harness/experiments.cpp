@@ -31,10 +31,9 @@ cordSpecWith(const CordConfig &cfg, std::string label)
 {
     return DetectorSpec{
         label,
-        [cfg, label](unsigned numCores, unsigned numThreads) {
+        [cfg, label](const MachineConfig &machine, unsigned numThreads) {
             CordConfig c = cfg;
-            c.numCores = numCores;
-            c.numThreads = numThreads;
+            c.deriveGeometry(machine, numThreads);
             return std::make_unique<CordDetector>(c, label);
         }};
 }
@@ -47,10 +46,9 @@ vcSpec(std::string label, bool infinite, const CacheGeometry &geo)
 {
     return DetectorSpec{
         label,
-        [infinite, geo, label](unsigned numCores, unsigned numThreads) {
-            VcConfig c;
-            c.numCores = numCores;
-            c.numThreads = numThreads;
+        [infinite, geo, label](const MachineConfig &machine,
+                               unsigned numThreads) {
+            VcConfig c = VcConfig::forMachine(machine, numThreads);
             c.infiniteResidency = infinite;
             c.residency = geo;
             return std::make_unique<VcDetector>(c, label);
@@ -157,7 +155,7 @@ runCampaign(const CampaignConfig &cfg,
             std::make_unique<IdealDetector>(cfg.params.numThreads);
         for (const DetectorSpec &spec : specs)
             art.dets.push_back(
-                spec.make(cfg.machine.numCores, cfg.params.numThreads));
+                spec.make(cfg.machine, cfg.params.numThreads));
         if (cfg.recordTrace)
             art.trace = std::make_unique<TraceRecorder>();
 
@@ -328,8 +326,7 @@ runPerf(const std::string &workload, const WorkloadParams &params,
     // CORD attached, its traffic charged to the address/timestamp bus.
     {
         CordConfig cfg = cordCfg;
-        cfg.numCores = machine.numCores;
-        cfg.numThreads = params.numThreads;
+        cfg.deriveGeometry(machine, params.numThreads);
         CordDetector cord(cfg);
         RunSetup run;
         run.workload = workload;
@@ -378,8 +375,7 @@ runProfile(const std::string &workload, const WorkloadParams &params,
     {
         ProfilerScope ps(cordProf);
         CordConfig cfg = cordCfg;
-        cfg.numCores = machine.numCores;
-        cfg.numThreads = params.numThreads;
+        cfg.deriveGeometry(machine, params.numThreads);
         CordDetector cord(cfg);
         RunSetup run;
         run.workload = workload;
@@ -404,9 +400,7 @@ runProfile(const std::string &workload, const WorkloadParams &params,
     Profiler vcProf;
     {
         ProfilerScope ps(vcProf);
-        VcConfig vcfg;
-        vcfg.numCores = machine.numCores;
-        vcfg.numThreads = params.numThreads;
+        VcConfig vcfg = VcConfig::forMachine(machine, params.numThreads);
         vcfg.infiniteResidency = false;
         vcfg.residency = CacheGeometry::paperL2();
         VcDetector vc(vcfg, "VC-L2Cache");

@@ -25,11 +25,14 @@
 namespace cord
 {
 
-/** A named detector configuration instantiated fresh for every run. */
+/** A named detector configuration instantiated fresh for every run.
+ *  make() receives the run's machine so specs can derive their full
+ *  geometry (core count, memory-timestamp banking on directory
+ *  machines) from the single source of truth. */
 struct DetectorSpec
 {
     std::string label;
-    std::function<std::unique_ptr<Detector>(unsigned numCores,
+    std::function<std::unique_ptr<Detector>(const MachineConfig &machine,
                                             unsigned numThreads)>
         make;
 };

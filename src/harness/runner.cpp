@@ -33,8 +33,23 @@ runWorkload(const RunSetup &setup)
     }
 
     Simulation sim(setup.machine, setup.params.numThreads);
-    for (Detector *d : setup.detectors)
+    for (Detector *d : setup.detectors) {
+        // Geometry agreement: a detector sized for the wrong machine
+        // used to silently under-size its per-core/per-thread state
+        // (e.g. vector clocks) and then trip bounds asserts -- or
+        // worse, mis-detect.  Reject the mismatch at setup instead.
+        const DetectorGeometry g = d->geometry();
+        cord_assert(g.cores == 0 || g.cores == setup.machine.numCores,
+                    "detector '", d->name(), "' is sized for ", g.cores,
+                    " cores but the machine has ",
+                    setup.machine.numCores);
+        cord_assert(g.threads == 0 ||
+                        g.threads == setup.params.numThreads,
+                    "detector '", d->name(), "' is sized for ",
+                    g.threads, " threads but the run spawns ",
+                    setup.params.numThreads);
         sim.addDetector(d);
+    }
     if (setup.timingCord)
         setup.timingCord->setTrafficSink(&sim);
     if (setup.gate)

@@ -36,7 +36,7 @@ enum class CoherenceKind : std::uint8_t
 /** Timing and topology parameters for the simulated CMP. */
 struct MachineConfig
 {
-    unsigned numCores = 4;
+    unsigned numCores = kDefaultNumCores;
 
     CoherenceKind coherence = CoherenceKind::Snooping;
 

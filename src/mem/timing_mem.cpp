@@ -1,5 +1,6 @@
 #include "mem/timing_mem.h"
 
+#include <bit>
 #include <optional>
 
 #include "obs/tracer.h"
@@ -22,6 +23,24 @@ TimingMemSystem::TimingMemSystem(const MachineConfig &cfg)
         l2_.emplace_back(cfg_.l2);
         l1_.emplace_back(cfg_.l1);
     }
+    if (cfg_.coherence == CoherenceKind::Directory) {
+        // One request channel per directory slice, line-interleaved:
+        // the directory replaces the shared address/timestamp bus with
+        // per-slice ports, so requests to different slices proceed
+        // independently.  Each port keeps the address-bus occupancy.
+        sliceBus_.reserve(cfg_.numCores);
+        for (unsigned i = 0; i < cfg_.numCores; ++i)
+            sliceBus_.emplace_back(cfg_.addrBusOccupancy,
+                                   static_cast<CoreId>(3 + i));
+    }
+}
+
+BusChannel &
+TimingMemSystem::requestChannel(Addr line)
+{
+    if (cfg_.coherence == CoherenceKind::Directory)
+        return sliceBus_[homeSlice(line)];
+    return addrBus_;
 }
 
 bool
@@ -52,7 +71,7 @@ TimingMemSystem::handleL2Victim(CoreId core,
     if (victim.state.mesi == Mesi::Modified) {
         // Fire-and-forget write-back: occupies the buses but does not
         // extend the latency of the access that triggered the eviction.
-        const Tick grant = addrBus_.acquire(now);
+        const Tick grant = requestChannel(victim.addr).acquire(now);
         dataBus_.acquire(grant);
         memBus_.acquire(grant);
     }
@@ -78,8 +97,9 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
         Tick done = now + (l1Present ? cfg_.l1HitLatency
                                      : cfg_.l2HitLatency);
         if (needUpgrade) {
-            // BusUpgr: invalidate all other copies.
-            const Tick grant = addrBus_.acquire(now);
+            // BusUpgr: invalidate all other copies (an ownership
+            // request to the line's home slice in directory mode).
+            const Tick grant = requestChannel(line).acquire(now);
             done = grant + cfg_.upgradeLatency;
             res.usedAddrBus = true;
             for (CoreId c = 0; c < cfg_.numCores; ++c) {
@@ -104,9 +124,10 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
         return res;
     }
 
-    // Miss: BusRd / BusRdX (snooping) or a directory request.
+    // Miss: BusRd / BusRdX (snooping) or a request to the line's home
+    // directory slice.
     res.usedAddrBus = true;
-    const Tick grant = addrBus_.acquire(now);
+    const Tick grant = requestChannel(line).acquire(now);
     const bool directory = cfg_.coherence == CoherenceKind::Directory;
     // In directory mode the request first indirects through the
     // directory at the memory controller.
@@ -125,12 +146,13 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
         res.source = ServiceSource::CacheToCache;
         if (isWrite) {
             // All other copies invalidated; the directory sends one
-            // directed invalidation per sharer instead of a broadcast.
+            // directed invalidation per sharer (serialized at the home
+            // slice's port) instead of a broadcast.
             for (CoreId c : holders) {
                 l2_[c].invalidate(line);
                 l1_[c].invalidate(line);
                 if (directory)
-                    addrBus_.acquire(resolved);
+                    sliceBus_[homeSlice(line)].acquire(resolved);
             }
         } else {
             // Suppliers downgrade to Shared.
@@ -168,27 +190,57 @@ TimingMemSystem::access(CoreId core, Addr addr, bool isWrite, Tick now)
 }
 
 Tick
-TimingMemSystem::chargeRaceCheck(Tick now)
+TimingMemSystem::chargeRaceCheck(Tick now, Addr addr, unsigned sharers,
+                                 std::uint64_t sharerMask)
 {
-    Tick cycles = addrBus_.occupancy();
-    // Snooping: one broadcast address/timestamp bus transaction; the
-    // timestamp response rides the dedicated snoop-response wires,
-    // like coherence responses, and there is no data transfer (paper
-    // Section 2.7.2).  Directory: the check indirects through the
-    // directory (request + directed probe).
-    addrBus_.acquire(now);
-    if (cfg_.coherence == CoherenceKind::Directory) {
-        addrBus_.acquire(now + cfg_.directoryLatency);
-        cycles += addrBus_.occupancy();
+    if (cfg_.coherence != CoherenceKind::Directory) {
+        // Snooping: one broadcast address/timestamp bus transaction;
+        // the timestamp response rides the dedicated snoop-response
+        // wires, like coherence responses, and there is no data
+        // transfer (paper Section 2.7.2).
+        addrBus_.acquire(now);
+        return addrBus_.occupancy();
+    }
+    // Directory: the check is a request to the line's home slice; the
+    // slice consults its banked memory timestamps and sharer set and
+    // forwards one point-to-point probe per remote sharer.  Each
+    // forwarded probe occupies its *target's* slice channel, so
+    // probes to distinct sharers proceed in parallel and the home
+    // port serializes only the request itself.  No broadcast term: an
+    // unshared line costs a single slice transaction no matter how
+    // many cores exist, and a widely shared one loads each sharer's
+    // port once instead of the home port N times.
+    BusChannel &slice = sliceBus_[homeSlice(addr)];
+    const Tick grant = slice.acquire(now);
+    Tick cycles = slice.occupancy();
+    if (sharerMask != 0) {
+        for (std::uint64_t m = sharerMask; m != 0; m &= m - 1) {
+            const unsigned target =
+                static_cast<unsigned>(std::countr_zero(m));
+            if (target >= sliceBus_.size())
+                continue;
+            sliceBus_[target].acquire(grant + cfg_.directoryLatency);
+            cycles += sliceBus_[target].occupancy();
+        }
+    } else {
+        // Sharer identities unknown (machines beyond 64 cores):
+        // serialize the probes at the home port, conservatively.
+        for (unsigned i = 0; i < sharers; ++i) {
+            slice.acquire(grant + cfg_.directoryLatency);
+            cycles += slice.occupancy();
+        }
     }
     return cycles;
 }
 
 Tick
-TimingMemSystem::chargeMemTsBroadcast(Tick now)
+TimingMemSystem::chargeMemTsBroadcast(Tick now, Addr addr)
 {
-    addrBus_.acquire(now);
-    return addrBus_.occupancy();
+    // Snooping broadcasts the new memory timestamp on the shared bus;
+    // a directory updates only the home slice's bank.
+    BusChannel &ch = requestChannel(lineAddr(addr));
+    ch.acquire(now);
+    return ch.occupancy();
 }
 
 void
@@ -197,6 +249,20 @@ TimingMemSystem::exportStats(StatRegistry &reg) const
     addrBus_.exportStats(reg, "bus.addr");
     dataBus_.exportStats(reg, "bus.data");
     memBus_.exportStats(reg, "bus.mem");
+    if (!sliceBus_.empty()) {
+        // Directory mode only (snooping manifests stay unchanged):
+        // aggregate slice-port utilization across all slices.
+        Tick busy = 0, wait = 0;
+        std::uint64_t txns = 0;
+        for (const BusChannel &s : sliceBus_) {
+            busy += s.busyCycles();
+            wait += s.waitCycles();
+            txns += s.transactions();
+        }
+        reg.set("bus.slice.transactions", txns);
+        reg.set("bus.slice.busyCycles", busy);
+        reg.set("bus.slice.waitCycles", wait);
+    }
     reg.set("service.l1Hits",
             serviceCount(ServiceSource::L1Hit));
     reg.set("service.l2Hits",

@@ -67,21 +67,44 @@ class TimingMemSystem
     TimingResult access(CoreId core, Addr addr, bool isWrite, Tick now);
 
     /**
-     * Charge one CORD race-check request to the address/timestamp bus
-     * (request + response; no data transfer -- paper Section 2.7.2).
+     * Charge one CORD race-check request (no data transfer -- paper
+     * Section 2.7.2).  Snooping: a single broadcast transaction on the
+     * shared address/timestamp bus.  Directory: a request on @p addr's
+     * home-slice channel, which the directory answers with @p sharers
+     * point-to-point probes, one on each probed core's own slice
+     * channel (@p sharerMask names the targets; a zero mask with a
+     * nonzero count serializes the probes at the home port) -- the
+     * cost scales with the sharer set, never with the core count.
      * @return bus cycles consumed by the charge (overhead attribution)
      */
-    Tick chargeRaceCheck(Tick now);
+    Tick chargeRaceCheck(Tick now, Addr addr, unsigned sharers,
+                         std::uint64_t sharerMask = 0);
 
     /**
-     * Charge one memory-timestamp update broadcast to the
-     * address/timestamp bus (paper Section 2.5).
+     * Charge one memory-timestamp update (paper Section 2.5): a
+     * broadcast on the address/timestamp bus under snooping, a
+     * directed update of @p addr's home slice bank under a directory.
      * @return bus cycles consumed by the charge (overhead attribution)
      */
-    Tick chargeMemTsBroadcast(Tick now);
+    Tick chargeMemTsBroadcast(Tick now, Addr addr);
 
     /** Address/timestamp bus (exposed for stats/tests). */
     const BusChannel &addrBus() const { return addrBus_; }
+
+    /** Directory-slice channel homing @p addr (Directory mode only). */
+    const BusChannel &
+    sliceBus(Addr addr) const
+    {
+        return sliceBus_[homeSlice(addr)];
+    }
+
+    /** Directory slice that homes @p addr (line-interleaved). */
+    unsigned
+    homeSlice(Addr addr) const
+    {
+        return static_cast<unsigned>((lineAddr(addr) / kLineBytes) %
+                                     cfg_.numCores);
+    }
 
     /** On-chip data bus. */
     const BusChannel &dataBus() const { return dataBus_; }
@@ -116,10 +139,19 @@ class TimingMemSystem
     void handleL2Victim(CoreId core,
                         const CacheArray<L2State>::Line &victim, Tick now);
 
+    /** Channel carrying @p line's coherence/check requests: the shared
+     *  address/timestamp bus under snooping, the line's home-slice
+     *  channel under a directory (requests to different slices never
+     *  contend -- the property behind sub-linear CORD overhead). */
+    BusChannel &requestChannel(Addr line);
+
     MachineConfig cfg_;
     BusChannel addrBus_;
     BusChannel dataBus_;
     BusChannel memBus_;
+    /** One request channel per directory slice (Directory mode only;
+     *  empty under snooping). */
+    std::vector<BusChannel> sliceBus_;
     std::vector<CacheArray<L2State>> l2_;
     std::vector<CacheArray<char>> l1_;
     std::uint64_t serviceCounts_[4] = {0, 0, 0, 0};

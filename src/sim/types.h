@@ -35,6 +35,18 @@ using ThreadId = std::uint16_t;
 
 constexpr ThreadId kInvalidThread = 0xffff;
 
+/**
+ * Default machine geometry (paper Section 3.1: a 4-processor CMP
+ * running one thread per core).  Single source of truth: every
+ * configuration default -- MachineConfig::numCores,
+ * CordConfig/VcConfig geometry, WorkloadParams::numThreads -- derives
+ * from these two constants, and harness/runner.cpp asserts at run
+ * setup that detector geometry agrees with the machine (a mismatched
+ * config used to silently under-size vector clocks).
+ */
+constexpr unsigned kDefaultNumCores = 4;
+constexpr unsigned kDefaultNumThreads = 4;
+
 /** Scalar logical timestamp as stored in cache lines (paper: 16 bits). */
 using Ts16 = std::uint16_t;
 

@@ -30,7 +30,7 @@ namespace cord
 /** Scaling and seeding of one workload run. */
 struct WorkloadParams
 {
-    unsigned numThreads = 4;
+    unsigned numThreads = kDefaultNumThreads;
     unsigned scale = 1;      //!< input-set multiplier (1 = default bench size)
     std::uint64_t seed = 1;  //!< shared-structure and per-thread RNG seed
 

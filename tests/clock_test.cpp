@@ -53,6 +53,33 @@ TEST(ScalarClock, ReconstructAcross16BitWraparound)
     EXPECT_EQ(reconstructTs(ts, static_cast<Ts16>(ref)), ref);
 }
 
+TEST(ScalarClock, SixtyFourCoreSkewSurvivesWraparound)
+{
+    // Many-core check: with 64 cores whose clocks are mutually skewed
+    // by up to D per migration/synchronization step, the total spread
+    // a comparison can see is ~64*D -- far inside the 2^15-1 window,
+    // so the 16-bit comparison must stay exact even while the cohort
+    // straddles a 16-bit epoch boundary.
+    constexpr std::uint32_t d = 16; // default margin D
+    constexpr unsigned cores = 64;
+    static_assert(cores * d < kClockWindow,
+                  "64-core worst-case skew must fit the window");
+    // Park the cohort across several consecutive wraparounds.
+    for (Ts64 epoch = 1; epoch <= 3; ++epoch) {
+        const Ts64 boundary = epoch << 16;
+        for (unsigned c = 0; c < cores; ++c) {
+            const Ts64 ts = boundary - (cores / 2) * d + c * d;
+            for (unsigned r = 0; r < cores; ++r) {
+                const Ts64 ref = boundary - (cores / 2) * d + r * d;
+                ASSERT_TRUE(withinWindow(ref, ts));
+                ASSERT_EQ(reconstructTs(ref, static_cast<Ts16>(ts)), ts)
+                    << "epoch " << epoch << " core " << c << " ref core "
+                    << r;
+            }
+        }
+    }
+}
+
 TEST(ScalarClock, WindowBoundary)
 {
     const Ts64 ref = 1000000;

@@ -498,8 +498,11 @@ TEST(CordScenario, TrafficSinkReceivesRaceChecks)
     {
         unsigned checks = 0;
         unsigned memTs = 0;
-        void raceCheck(Tick) override { ++checks; }
-        void memTsBroadcast(Tick, FoldCause) override { ++memTs; }
+        void raceCheck(Tick, Addr, unsigned, std::uint64_t) override
+        {
+            ++checks;
+        }
+        void memTsBroadcast(Tick, FoldCause, Addr) override { ++memTs; }
     };
     CordConfig cfg = config(16);
     cfg.residency = CacheGeometry{1024, 64, 2};

@@ -87,7 +87,7 @@ TEST(CordlintCliXval, ValidCombinations)
         parse({"xval", "--workload", "cholesky", "--scale", "2",
                "--seed", "3", "--schedules", "8", "--jobs", "2",
                "--inject", "1:6", "--sched", "pct", "--d", "8",
-               "--sample-rate", "2"});
+               "--sample-rate", "2", "--fail-on-escape"});
     ASSERT_EQ(cli.status, CliStatus::Run);
     EXPECT_EQ(cli.mode, LintMode::Xval);
     EXPECT_EQ(cli.workload, "cholesky");
@@ -101,12 +101,14 @@ TEST(CordlintCliXval, ValidCombinations)
     EXPECT_EQ(cli.sched.kind, SchedKind::Pct);
     EXPECT_EQ(cli.d, 8u);
     EXPECT_EQ(cli.sampleRate, 2u);
+    EXPECT_TRUE(cli.failOnEscape);
     EXPECT_EQ(cli.threads, 4u); // defaulted for the run
 
     const CordlintCli kr = parse({"xval", "--known-races",
                                   "--threads", "8", "--inject", "7:0"});
     ASSERT_EQ(kr.status, CliStatus::Run);
     EXPECT_TRUE(kr.knownRaces);
+    EXPECT_FALSE(kr.failOnEscape);
     EXPECT_EQ(kr.threads, 8u);
 }
 
@@ -145,6 +147,9 @@ TEST(CordlintCliErrors, EveryInvalidComboNamesItsReason)
         {{"predict", "--trace", "t", "--known-races"},
          "only applies to xval"},
         {{"predict", "--trace", "t", "--inject", "1:0"},
+         "only applies to xval"},
+        {{"--log", "a", "--fail-on-escape"}, "only applies to xval"},
+        {{"predict", "--trace", "t", "--fail-on-escape"},
          "only applies to xval"},
         {{"--log", "a", "--max-witnesses", "4"},
          "only applies to predict"},

@@ -87,6 +87,14 @@ constexpr std::uint64_t kGoldenCampaignManifest = 0xb3d77e4beb9a88a3ULL;
 constexpr std::uint64_t kGoldenOrderLog = 0xdead6118d9d84b8dULL;
 constexpr std::uint64_t kGoldenScheduleLog = 0xaa4fe2a9ad29089cULL;
 
+// Many-core directory fixture (PR 7): same rules, recorded when the
+// 16-core directory machine became a first-class configuration.  These
+// cover the banked memory timestamps, the sharer-set directory, and
+// the per-slice channels; the 4-core snooping goldens above must stay
+// untouched by any of that machinery.
+constexpr std::uint64_t kGoldenDirectoryManifest = 0x65568e2d17cc9c63ULL;
+constexpr std::uint64_t kGoldenDirectoryOrderLog = 0xd793157c69bdce5eULL;
+
 /** The fixture campaign: small but exercises injections, two detector
  *  families, finite + infinite residency, and the walker. */
 CampaignConfig
@@ -126,6 +134,74 @@ TEST(DeterminismGolden, CampaignManifestBytesJobs1And4)
     report("kGoldenCampaignManifest", fnv1a(j1));
     EXPECT_EQ(fnv1a(j1), kGoldenCampaignManifest)
         << "campaign manifest bytes changed vs. the pre-rewrite golden";
+}
+
+/** 16-core directory fixture: the many-core path under campaign load
+ *  (banked memTs, sharer probes, per-slice channels). */
+CampaignConfig
+directoryFixtureCampaign(unsigned jobs)
+{
+    CampaignConfig cfg;
+    cfg.workload = "fft";
+    cfg.params.numThreads = 16;
+    cfg.params.scale = 1;
+    cfg.params.seed = 12;
+    cfg.injections = 6;
+    cfg.seed = 1234;
+    cfg.jobs = jobs;
+    cfg.machine.numCores = 16;
+    cfg.machine.coherence = CoherenceKind::Directory;
+    return cfg;
+}
+
+std::string
+directoryManifestBytes(unsigned jobs)
+{
+    const std::vector<DetectorSpec> specs = {cordSpec(16),
+                                             vcInfCacheSpec()};
+    const CampaignResult r =
+        runCampaign(directoryFixtureCampaign(jobs), specs);
+    RunManifest m;
+    m.tool = "determinism_golden_dir16";
+    m.seed = 1234;
+    m.setConfig("scale", std::uint64_t(1));
+    m.setConfig("injections", std::uint64_t(6));
+    addCampaignMetrics(m, "fft", r);
+    return m.renderJson(/*includeVolatile=*/false);
+}
+
+TEST(DeterminismGolden, DirectoryManifestBytesJobs1And4)
+{
+    const std::string j1 = directoryManifestBytes(1);
+    const std::string j4 = directoryManifestBytes(4);
+    EXPECT_EQ(j1, j4)
+        << "--jobs must not change 16-core directory manifests";
+    report("kGoldenDirectoryManifest", fnv1a(j1));
+    EXPECT_EQ(fnv1a(j1), kGoldenDirectoryManifest)
+        << "16-core directory campaign manifest bytes changed";
+}
+
+TEST(DeterminismGolden, DirectoryOrderLogBytes)
+{
+    RunSetup setup;
+    setup.workload = "fft";
+    setup.params.numThreads = 16;
+    setup.params.scale = 1;
+    setup.params.seed = 12;
+    setup.machine.numCores = 16;
+    setup.machine.coherence = CoherenceKind::Directory;
+
+    CordConfig cc = CordConfig::forMachine(setup.machine, 16);
+    CordDetector cord(cc);
+    setup.detectors = {&cord};
+
+    const RunOutcome out = runWorkload(setup);
+    ASSERT_TRUE(out.completed);
+    const std::vector<std::uint8_t> wire = encodeOrderLog(cord.orderLog());
+    ASSERT_FALSE(wire.empty());
+    report("kGoldenDirectoryOrderLog", fnv1a(wire));
+    EXPECT_EQ(fnv1a(wire), kGoldenDirectoryOrderLog)
+        << "16-core directory order-log bytes changed";
 }
 
 TEST(DeterminismGolden, OrderLogBytes)

@@ -56,17 +56,31 @@ TEST(Harness, CampaignIsDeterministic)
 
 TEST(Harness, SpecFactoriesConfigureDetectors)
 {
-    auto cordDet = cordSpec(64).make(4, 4);
+    const MachineConfig machine;
+    auto cordDet = cordSpec(64).make(machine, 4);
     EXPECT_EQ(cordDet->name(), "CORD-D64");
-    auto inf = vcInfCacheSpec().make(4, 4);
-    auto l1 = vcL1CacheSpec().make(4, 4);
+    auto inf = vcInfCacheSpec().make(machine, 4);
+    auto l1 = vcL1CacheSpec().make(machine, 4);
     EXPECT_EQ(inf->name(), "VC-InfCache");
     EXPECT_EQ(l1->name(), "VC-L1Cache");
 
     CordConfig ablate;
     ablate.entriesPerLine = 1;
-    auto one = cordSpecWith(ablate, "one").make(2, 8);
+    MachineConfig small;
+    small.numCores = 2;
+    auto one = cordSpecWith(ablate, "one").make(small, 8);
     EXPECT_EQ(one->name(), "one");
+    EXPECT_EQ(one->geometry().cores, 2u);
+    EXPECT_EQ(one->geometry().threads, 8u);
+
+    // Directory machines automatically get per-slice memTs banking.
+    MachineConfig dir;
+    dir.numCores = 16;
+    dir.coherence = CoherenceKind::Directory;
+    auto banked = cordSpec(16).make(dir, 16);
+    const auto *cd = dynamic_cast<CordDetector *>(banked.get());
+    ASSERT_NE(cd, nullptr);
+    EXPECT_EQ(cd->config().memTsBanks, 16u);
 }
 
 TEST(Harness, RatioHelpersHandleMissingLabels)

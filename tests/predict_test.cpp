@@ -335,5 +335,57 @@ TEST(PredictXval, SupersetHoldsOnRacyCholesky)
     EXPECT_EQ(report.metrics().at("xval.missedWords"), 0.0);
 }
 
+TEST(PredictXval, EscapesAreClassifiedOnVolrend)
+{
+    // volrend's known race (the unlocked opacity-histogram update) is
+    // lock-protected in the baseline schedule with every conflicting
+    // pair ordered by the observed acquisition order; a different
+    // schedule flips that order and races.  This is the documented
+    // single-trace limit of reads-from prediction, so the word must
+    // escape -- and the escape must be *classified*, with a witness,
+    // as ordered-in-baseline.
+    XvalSpec spec;
+    spec.explore.workload = "volrend";
+    spec.explore.params.numThreads = 4;
+    spec.explore.params.scale = 1;
+    spec.explore.params.seed = 1;
+    spec.explore.params.includeKnownRaces = true;
+    spec.explore.schedules = 8;
+    spec.explore.jobs = 2;
+
+    const XvalResult r = runXval(spec);
+    ASSERT_TRUE(r.baselineCompleted);
+    ASSERT_FALSE(r.superset()) << "expected the volrend escape";
+    ASSERT_EQ(r.escapes.size(), r.missedWords.size())
+        << "every miss must be classified";
+    for (std::size_t i = 0; i < r.escapes.size(); ++i) {
+        const XvalEscape &e = r.escapes[i];
+        EXPECT_EQ(e.word, r.missedWords[i]);
+        EXPECT_EQ(e.kind, EscapeKind::OrderedInBaseline);
+        EXPECT_GE(e.baselineThreads, 2u)
+            << "ordered-in-baseline requires a cross-thread witness";
+        EXPECT_GT(e.baselineWrites, 0u);
+        EXPECT_GE(e.baselineAccesses, e.baselineWrites);
+        EXPECT_GT(e.firstSchedule, 0u)
+            << "the baseline itself cannot manifest an escaped word";
+    }
+
+    // Default report: structured warnings, no errors (the limit is
+    // documented, not a finding against the predictor).
+    LintReport lenient;
+    reportXval(r, lenient);
+    EXPECT_EQ(lenient.errors(), 0u) << lenient.renderText();
+    EXPECT_GT(lenient.warnings(), 0u);
+    EXPECT_EQ(lenient.metrics().at("xval.escape.ordered"),
+              static_cast<double>(r.escapes.size()));
+    EXPECT_NE(lenient.renderText().find("ordered-in-baseline"),
+              std::string::npos);
+
+    // --fail-on-escape promotes the same findings to errors.
+    LintReport strict;
+    reportXval(r, strict, /*failOnEscape=*/true);
+    EXPECT_GT(strict.errors(), 0u);
+}
+
 } // namespace
 } // namespace cord

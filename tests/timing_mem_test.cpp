@@ -123,8 +123,8 @@ TEST(TimingMem, RaceCheckAndMemTsChargesAddrBusOnly)
 {
     TimingMemSystem m(cfg());
     const std::uint64_t data0 = m.dataBus().transactions();
-    m.chargeRaceCheck(0);
-    m.chargeMemTsBroadcast(10);
+    m.chargeRaceCheck(0, 0x40000, 2);
+    m.chargeMemTsBroadcast(10, 0x40000);
     EXPECT_EQ(m.addrBus().transactions(), 2u);
     EXPECT_EQ(m.dataBus().transactions(), data0);
 }
@@ -134,7 +134,7 @@ TEST(TimingMem, AddrBusContentionDelaysMisses)
     TimingMemSystem m(cfg());
     // Saturate the address bus with race checks, then issue a miss.
     for (int i = 0; i < 100; ++i)
-        m.chargeRaceCheck(0);
+        m.chargeRaceCheck(0, 0x30000, 1);
     const TimingResult r = m.access(0, 0x30000, false, 0);
     EXPECT_GT(r.completion, cfg().memoryLatency + 500u)
         << "miss must queue behind the check burst";

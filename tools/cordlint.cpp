@@ -133,7 +133,7 @@ runXvalMode(const CordlintCli &cli)
     spec.predict.sampleRate = cli.sampleRate;
 
     LintReport report;
-    reportXval(runXval(spec), report);
+    reportXval(runXval(spec), report, cli.failOnEscape);
     return finish(report, cli);
 }
 

@@ -758,9 +758,7 @@ runProfileMode(const Options &opt)
     machine.coherence = opt.directory ? CoherenceKind::Directory
                                       : CoherenceKind::Snooping;
     machine.migrationPeriodInstrs = opt.migrate;
-    CordConfig cc;
-    cc.numCores = opt.cores;
-    cc.numThreads = opt.threads;
+    CordConfig cc = CordConfig::forMachine(machine, opt.threads);
     cc.d = opt.d;
 
     const ProfileReport rep =
@@ -857,14 +855,10 @@ main(int argc, char **argv)
         setup.maxTicks = 2000000000ULL; // injected runs can hang
     }
 
-    CordConfig cc;
-    cc.numCores = opt.cores;
-    cc.numThreads = opt.threads;
+    CordConfig cc = CordConfig::forMachine(setup.machine, opt.threads);
     cc.d = opt.d;
     CordDetector cord(cc);
-    VcConfig vcc;
-    vcc.numCores = opt.cores;
-    vcc.numThreads = opt.threads;
+    VcConfig vcc = VcConfig::forMachine(setup.machine, opt.threads);
     VcDetector vcd(vcc);
     IdealDetector ideal(opt.threads);
     TraceRecorder trace;
