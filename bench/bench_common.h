@@ -19,12 +19,20 @@
  *   --perf-out FILE  override the wall-clock timing manifest path of
  *                    binaries that emit one (bench_perf writes
  *                    BENCH_perf.json by default)
+ *   --load N         offered-load percentage for server-family
+ *                    workloads (100 = nominal arrival rate; splash
+ *                    apps ignore it).  Default: first CORD_LOAD entry,
+ *                    else 100.
  *
  * Environment knobs (all optional):
  *   CORD_SCALE       workload input scale      (default 2)
  *   CORD_INJECTIONS  injections per app        (default 30)
  *   CORD_SEED        campaign base seed        (default 1)
- *   CORD_APPS        comma-separated app list  (default: all 12)
+ *   CORD_APPS        comma-separated app list  (default: the 12
+ *                    splash-family apps; server apps opt in by name)
+ *   CORD_LOAD        comma-separated load-percentage sweep for
+ *                    bench_server (default "50,100,200"); a single
+ *                    value also sets the --load default everywhere
  *   CORD_JOBS        default for --jobs        (default 1)
  *   CORD_LINT        when set and nonzero, run the cordlint checks
  *                    (docs/ANALYSIS.md) on every experiment run's
@@ -113,6 +121,7 @@ struct BenchArgs
     unsigned repeat = 5;         //!< timed repetitions (median-of-N)
     unsigned warmup = 1;         //!< untimed repetitions first
     std::string perfOutPath;     //!< "" = the binary's default
+    unsigned load = 0;           //!< 0 = resolve from CORD_LOAD / 100
 };
 
 /** The parsed flags (parseArgs fills them; defaults before that). */
@@ -163,29 +172,37 @@ parseArgs(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         } else if (arg == "--perf-out") {
             a.perfOutPath = value();
+        } else if (arg == "--load") {
+            a.load = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+            if (a.load == 0) {
+                std::fprintf(stderr, "%s: --load must be >= 1\n",
+                             a.tool.c_str());
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--manifest FILE]"
                          " [--json] [--repeat N] [--warmup N]"
-                         " [--perf-out FILE]\n",
+                         " [--perf-out FILE] [--load N]\n",
                          a.tool.c_str());
             std::exit(2);
         }
     }
 }
 
+/** Split a comma-separated list (helper for env knobs). */
 inline std::vector<std::string>
-appList()
+splitCommaList(const char *v)
 {
-    const char *v = std::getenv("CORD_APPS");
-    if (!v || !*v)
-        return workloadNames();
-    std::vector<std::string> apps;
+    std::vector<std::string> out;
+    if (!v)
+        return out;
     std::string cur;
     for (const char *p = v;; ++p) {
         if (*p == ',' || *p == '\0') {
             if (!cur.empty())
-                apps.push_back(cur);
+                out.push_back(cur);
             cur.clear();
             if (*p == '\0')
                 break;
@@ -193,7 +210,52 @@ appList()
             cur += *p;
         }
     }
-    return apps;
+    return out;
+}
+
+/**
+ * The CORD_LOAD sweep for bench_server: offered-load percentages, one
+ * measurement point each.  Default covers under-, nominal and over-
+ * load so the latency knee is visible.
+ */
+inline std::vector<unsigned>
+loadLevels()
+{
+    std::vector<unsigned> levels;
+    for (const std::string &tok : splitCommaList(std::getenv("CORD_LOAD")))
+        if (const unsigned v = static_cast<unsigned>(
+                std::strtoul(tok.c_str(), nullptr, 10)))
+            levels.push_back(v);
+    if (levels.empty())
+        levels = {50, 100, 200};
+    return levels;
+}
+
+/** The --load value after resolving its CORD_LOAD / 100 default. */
+inline unsigned
+loadPercent()
+{
+    if (args().load != 0)
+        return args().load;
+    const std::vector<unsigned> levels = loadLevels();
+    const char *env = std::getenv("CORD_LOAD");
+    return env && *env && levels.size() == 1 ? levels[0] : 100;
+}
+
+/**
+ * The apps a bench binary iterates: CORD_APPS when set, else the 12
+ * splash-family analogs.  The server family is excluded by default so
+ * the paper-reproduction tables keep their historical app set;
+ * bench_server (and anyone else) selects it with
+ * workloadNames("server") or CORD_APPS.
+ */
+inline std::vector<std::string>
+appList()
+{
+    const char *v = std::getenv("CORD_APPS");
+    if (!v || !*v)
+        return workloadNames("splash");
+    return splitCommaList(v);
 }
 
 /**
@@ -244,6 +306,7 @@ campaignFor(const std::string &app)
     cfg.workload = app;
     cfg.params.numThreads = kDefaultNumThreads;
     cfg.params.scale = envUnsigned("CORD_SCALE", 2);
+    cfg.params.loadPercent = loadPercent();
     cfg.params.seed = workloadSeed();
     cfg.injections = envUnsigned("CORD_INJECTIONS", 30);
     cfg.seed = campaignSeed();

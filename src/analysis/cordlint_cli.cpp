@@ -40,6 +40,8 @@ cordlintUsageText()
         "  --scale N           input scale (default 4)\n"
         "  --threads N         software threads (default 4)\n"
         "  --cores N           processors (default 4)\n"
+        "  --load N            offered load percent for server-family\n"
+        "                      workloads (default 100)\n"
         "  --seed N            run seed (default 1)\n"
         "  --schedules M       schedules to explore (default 32)\n"
         "  --sched NAME        baseline, perturb (default) or pct\n"
@@ -197,6 +199,9 @@ parseOrThrow(const std::vector<std::string> &args)
         } else if (a == "--cores") {
             xvalFlag();
             cli.cores = static_cast<unsigned>(num(1, 1024));
+        } else if (a == "--load") {
+            xvalFlag();
+            cli.load = static_cast<unsigned>(num(1, 100000));
         } else if (a == "--seed") {
             xvalFlag();
             cli.seed = num(0);

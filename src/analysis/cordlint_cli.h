@@ -68,6 +68,7 @@ struct CordlintCli
     std::string workload = "fft";
     unsigned scale = 4;
     unsigned cores = 4;
+    unsigned load = 100; //!< offered load % (server family)
     std::uint64_t seed = 1;
     unsigned schedules = 32;
     unsigned jobs = 1;

@@ -218,7 +218,7 @@ Simulation::runThread(Thread &t)
             events_.scheduleIn(cost, [this, &t] {
                 t.waiting = false;
                 if (t.computeRemaining == 0)
-                    t.drv.complete(OpResult{});
+                    t.drv.complete(OpResult{0, false, events_.now()});
                 scheduleCore(t.core);
             }, EventQueue::kPriResponse);
             return true;
@@ -237,7 +237,7 @@ Simulation::runThread(Thread &t)
         switch (op.type) {
           case OpType::Compute:
             if (op.count == 0) {
-                t.drv.complete(OpResult{});
+                t.drv.complete(OpResult{0, false, events_.now()});
                 continue;
             }
             t.computeRemaining = op.count * cfg_.computeScale;
@@ -247,7 +247,7 @@ Simulation::runThread(Thread &t)
             t.waiting = true;
             events_.scheduleIn(1, [this, &t] {
                 t.waiting = false;
-                t.drv.complete(OpResult{});
+                t.drv.complete(OpResult{0, false, events_.now()});
                 scheduleCore(t.core);
             }, EventQueue::kPriResponse);
             return true;
@@ -383,6 +383,7 @@ Simulation::commitMemOp(Thread &t, const OpRequest &op)
       default:
         cord_panic("commitMemOp on non-memory op");
     }
+    res.now = events_.now();
     t.drv.complete(res);
 }
 

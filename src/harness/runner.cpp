@@ -20,7 +20,12 @@ runWorkload(const RunSetup &setup)
     if (setup.captureSpace)
         *setup.captureSpace = as;
 
-    SyncRuntime rt(setup.filter);
+    // Server-family workloads run open-ended polling loops that can
+    // phase-lock against a fixed spin cadence in a deterministic
+    // simulator (a spinner forever probing while a peer's fixed-length
+    // cycle holds the lock); they opt into jittered spin retries.
+    const bool jitterSpin = workload->meta().family == "server";
+    SyncRuntime rt(setup.filter, 40, jitterSpin);
 
     // Thread contexts must outlive the simulation (coroutine frames
     // reference them).
@@ -71,6 +76,8 @@ runWorkload(const RunSetup &setup)
     out.syncCensus.resize(setup.params.numThreads, 0);
     out.lockInstances = rt.lockInstances();
     out.flagInstances = rt.flagInstances();
+    out.rwReadInstances = rt.rwReadInstances();
+    out.rwWriteInstances = rt.rwWriteInstances();
     out.removedInstances = rt.removedInstances();
     out.footprintWords = sim.memory().footprintWords();
     out.interleavingSignature = sim.interleavingSignature();
@@ -86,6 +93,10 @@ runWorkload(const RunSetup &setup)
     out.stats.set("sim.footprintWords", out.footprintWords);
     out.stats.set("sim.syncInstances.lock", out.lockInstances);
     out.stats.set("sim.syncInstances.flag", out.flagInstances);
+    if (out.rwReadInstances > 0)
+        out.stats.set("sim.syncInstances.rwRead", out.rwReadInstances);
+    if (out.rwWriteInstances > 0)
+        out.stats.set("sim.syncInstances.rwWrite", out.rwWriteInstances);
     std::uint64_t totalInstrs = 0;
     for (auto n : out.instrs)
         totalInstrs += n;
@@ -93,6 +104,11 @@ runWorkload(const RunSetup &setup)
     StatRegistry memStats;
     sim.mem().exportStats(memStats);
     out.stats.merge("mem", memStats);
+
+    // Application-level stats (server family: per-request latency
+    // histograms and drop/saturation counters).  The SPLASH analogs
+    // export nothing, so their manifests are unchanged.
+    workload->exportStats(out.stats);
 
     // Observability self-accounting: a run executed under an active
     // tracer or profiler records what the instruments themselves saw

@@ -72,6 +72,8 @@ struct RunOutcome
     std::vector<std::uint64_t> syncCensus;
     std::uint64_t lockInstances = 0;
     std::uint64_t flagInstances = 0;
+    std::uint64_t rwReadInstances = 0;
+    std::uint64_t rwWriteInstances = 0;
     std::uint64_t removedInstances = 0;
 
     std::vector<std::uint64_t> instrs;

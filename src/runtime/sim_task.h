@@ -51,6 +51,7 @@ struct OpResult
 {
     std::uint64_t value = 0; //!< loaded value / CAS old value
     bool success = false;    //!< CAS succeeded
+    Tick now = 0;            //!< simulated time at completion
 };
 
 class ThreadDriver;

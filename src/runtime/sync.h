@@ -37,8 +37,10 @@ namespace cord
 /** Kinds of removable dynamic synchronization instances. */
 enum class SyncInstanceKind : std::uint8_t
 {
-    LockPair, //!< one lock() call and its matching unlock()
-    FlagWait, //!< one flag wait
+    LockPair,    //!< one lock() call and its matching unlock()
+    FlagWait,    //!< one flag wait
+    RwReadPair,  //!< one read-side rwlock acquire/release pair
+    RwWritePair, //!< one write-side rwlock acquire/release pair
 };
 
 /** Decides whether a dynamic sync instance is removed (injected). */
@@ -89,9 +91,28 @@ class SyncRuntime
     static constexpr std::uint64_t kLockFree = 0;
 
     explicit SyncRuntime(SyncInstanceFilter *filter = nullptr,
-                         std::uint32_t spinBackoff = 40)
-        : filter_(filter), spinBackoff_(spinBackoff)
+                         std::uint32_t spinBackoff = 40,
+                         bool jitterSpin = false)
+        : filter_(filter), spinBackoff_(spinBackoff),
+          jitterSpin_(jitterSpin)
     {
+    }
+
+    /**
+     * Spin-retry delay for one failed probe.  With @p jitterSpin the
+     * delay is drawn from the thread's own seeded stream: the simulator
+     * is deterministic, so spinners retrying with one fixed cadence can
+     * phase-lock against a peer's fixed-length lock/unlock cycle and
+     * starve forever; the jitter keeps relative phases drifting.  Off
+     * by default so the classic workloads' executions are unchanged.
+     */
+    std::uint32_t
+    spinDelay(ThreadCtx &t)
+    {
+        if (!jitterSpin_)
+            return spinBackoff_;
+        return spinBackoff_ +
+               static_cast<std::uint32_t>(t.rng.below(spinBackoff_));
     }
 
     /** Allocate a barrier's variables from @p as. */
@@ -135,7 +156,7 @@ class SyncRuntime
                 if (cas.success)
                     co_return;
             }
-            co_await opCompute(spinBackoff_);
+            co_await opCompute(spinDelay(t));
         }
     }
 
@@ -167,7 +188,7 @@ class SyncRuntime
             const OpResult probe = co_await opSyncLoad(flagVar);
             if (probe.value >= target)
                 co_return;
-            co_await opCompute(spinBackoff_);
+            co_await opCompute(spinDelay(t));
         }
     }
 
@@ -177,6 +198,104 @@ class SyncRuntime
     {
         co_await opSyncStore(flagVar, value);
     }
+
+    /// @{ @name Reader-writer lock (server workload tier)
+    ///
+    /// One sync word encodes the whole lock: the low bits hold the
+    /// active-reader count, kRwWriter marks a writer holding it
+    /// exclusively (plus 1+tid for debugging, like lock()).  Readers
+    /// CAS the count up/down; writers CAS 0 -> writer-marker.  Every
+    /// acquire spins test-and-test-and-set style through labelled sync
+    /// accesses, so CORD records the same release->acquire edges
+    /// hardware would observe: each reader's release CAS orders before
+    /// the next writer's acquire CAS through the lock word, and the
+    /// writer's release store orders before every later reader.
+
+    /** Writer-held marker, disjoint from any feasible reader count. */
+    static constexpr std::uint64_t kRwWriter = 1ULL << 48;
+
+    /**
+     * Acquire @p lockVar for shared (read) access.  One removable
+     * RwReadPair instance; when removed, the thread enters immediately
+     * and its matching rwReadUnlock is skipped too.
+     */
+    Task<void>
+    rwReadLock(ThreadCtx &t, Addr lockVar)
+    {
+        const std::uint64_t seq = nextSeq(t.tid);
+        ++rwReadInstances_;
+        if (filter_ && filter_->skipInstance(t.tid, seq,
+                                             SyncInstanceKind::RwReadPair)) {
+            t.skippedLocks.insert(lockVar);
+            ++removedInstances_;
+            co_return;
+        }
+        for (;;) {
+            const OpResult probe = co_await opSyncLoad(lockVar);
+            if ((probe.value & kRwWriter) == 0) {
+                const OpResult cas =
+                    co_await opCas(lockVar, probe.value, probe.value + 1);
+                if (cas.success)
+                    co_return;
+            }
+            co_await opCompute(spinDelay(t));
+        }
+    }
+
+    /** Release shared access (skipped when its acquire was removed). */
+    Task<void>
+    rwReadUnlock(ThreadCtx &t, Addr lockVar)
+    {
+        if (t.skippedLocks.erase(lockVar) > 0)
+            co_return;
+        for (;;) {
+            const OpResult probe = co_await opSyncLoad(lockVar);
+            const OpResult cas =
+                co_await opCas(lockVar, probe.value, probe.value - 1);
+            if (cas.success)
+                co_return;
+            co_await opCompute(spinDelay(t));
+        }
+    }
+
+    /**
+     * Acquire @p lockVar exclusively (write).  One removable
+     * RwWritePair instance; when removed, the thread writes with no
+     * exclusion and its matching rwWriteUnlock is skipped too.
+     */
+    Task<void>
+    rwWriteLock(ThreadCtx &t, Addr lockVar)
+    {
+        const std::uint64_t seq = nextSeq(t.tid);
+        ++rwWriteInstances_;
+        if (filter_ && filter_->skipInstance(t.tid, seq,
+                                             SyncInstanceKind::RwWritePair)) {
+            t.skippedLocks.insert(lockVar);
+            ++removedInstances_;
+            co_return;
+        }
+        for (;;) {
+            const OpResult probe = co_await opSyncLoad(lockVar);
+            if (probe.value == 0) {
+                const OpResult cas = co_await opCas(
+                    lockVar, 0,
+                    kRwWriter + 1 + static_cast<std::uint64_t>(t.tid));
+                if (cas.success)
+                    co_return;
+            }
+            co_await opCompute(spinDelay(t));
+        }
+    }
+
+    /** Release exclusive access (skipped when acquire was removed). */
+    Task<void>
+    rwWriteUnlock(ThreadCtx &t, Addr lockVar)
+    {
+        if (t.skippedLocks.erase(lockVar) > 0)
+            co_return;
+        co_await opSyncStore(lockVar, 0);
+    }
+    /// @}
 
     /**
      * Sense-reversing barrier built from the mutex and flag primitives
@@ -227,6 +346,8 @@ class SyncRuntime
 
     std::uint64_t lockInstances() const { return lockInstances_; }
     std::uint64_t flagInstances() const { return flagInstances_; }
+    std::uint64_t rwReadInstances() const { return rwReadInstances_; }
+    std::uint64_t rwWriteInstances() const { return rwWriteInstances_; }
     std::uint64_t removedInstances() const { return removedInstances_; }
     /// @}
 
@@ -241,9 +362,12 @@ class SyncRuntime
 
     SyncInstanceFilter *filter_;
     std::uint32_t spinBackoff_;
+    bool jitterSpin_ = false;
     std::vector<std::uint64_t> perThread_;
     std::uint64_t lockInstances_ = 0;
     std::uint64_t flagInstances_ = 0;
+    std::uint64_t rwReadInstances_ = 0;
+    std::uint64_t rwWriteInstances_ = 0;
     std::uint64_t removedInstances_ = 0;
 };
 

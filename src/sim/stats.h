@@ -93,6 +93,44 @@ struct HistogramStat
 
     double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
 
+    /**
+     * Approximate quantile @p q in [0, 1]: the value at rank q*count,
+     * linearly interpolated inside the log2 bucket holding that rank
+     * (clamped to the observed min/max).  Used for the p50/p99 tail
+     * latencies of the server workload family.
+     */
+    double
+    quantile(double q) const
+    {
+        if (count == 0)
+            return 0.0;
+        if (q <= 0.0)
+            return static_cast<double>(min);
+        if (q >= 1.0)
+            return static_cast<double>(max);
+        const double rank = q * static_cast<double>(count);
+        double cum = 0.0;
+        for (unsigned b = 0; b < kBuckets; ++b) {
+            if (buckets[b] == 0)
+                continue;
+            const double next = cum + static_cast<double>(buckets[b]);
+            if (next >= rank) {
+                const double lo = static_cast<double>(bucketLow(b));
+                const double hi = static_cast<double>(bucketHigh(b));
+                const double frac =
+                    (rank - cum) / static_cast<double>(buckets[b]);
+                double v = lo + (hi - lo) * frac;
+                if (v < static_cast<double>(min))
+                    v = static_cast<double>(min);
+                if (v > static_cast<double>(max))
+                    v = static_cast<double>(max);
+                return v;
+            }
+            cum = next;
+        }
+        return static_cast<double>(max);
+    }
+
     void
     add(std::uint64_t v)
     {

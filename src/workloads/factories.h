@@ -26,6 +26,12 @@ std::unique_ptr<Workload> makeVolrend();
 std::unique_ptr<Workload> makeWaterN2();
 std::unique_ptr<Workload> makeWaterSp();
 
+// Server family (src/workloads/server/, docs/WORKLOADS.md).
+std::unique_ptr<Workload> makeKvStore();
+std::unique_ptr<Workload> makeWorkSteal();
+std::unique_ptr<Workload> makeRcuReg();
+std::unique_ptr<Workload> makeEventLoop();
+
 } // namespace cord
 
 #endif // CORD_WORKLOADS_FACTORIES_H

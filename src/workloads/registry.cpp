@@ -13,16 +13,27 @@ struct RegistryEntry
 {
     const char *name;
     std::unique_ptr<Workload> (*factory)();
+    const char *family;
 };
 
-// Table 1 order.
+// Table 1 order, then the server family (docs/WORKLOADS.md).
 const RegistryEntry kRegistry[] = {
-    {"barnes", makeBarnes},       {"cholesky", makeCholesky},
-    {"fft", makeFft},             {"fmm", makeFmm},
-    {"lu", makeLu},               {"ocean", makeOcean},
-    {"radiosity", makeRadiosity}, {"radix", makeRadix},
-    {"raytrace", makeRaytrace},   {"volrend", makeVolrend},
-    {"water-n2", makeWaterN2},    {"water-sp", makeWaterSp},
+    {"barnes", makeBarnes, "splash"},
+    {"cholesky", makeCholesky, "splash"},
+    {"fft", makeFft, "splash"},
+    {"fmm", makeFmm, "splash"},
+    {"lu", makeLu, "splash"},
+    {"ocean", makeOcean, "splash"},
+    {"radiosity", makeRadiosity, "splash"},
+    {"radix", makeRadix, "splash"},
+    {"raytrace", makeRaytrace, "splash"},
+    {"volrend", makeVolrend, "splash"},
+    {"water-n2", makeWaterN2, "splash"},
+    {"water-sp", makeWaterSp, "splash"},
+    {"kvstore", makeKvStore, "server"},
+    {"worksteal", makeWorkSteal, "server"},
+    {"rcureg", makeRcuReg, "server"},
+    {"eventloop", makeEventLoop, "server"},
 };
 
 } // namespace
@@ -47,6 +58,42 @@ workloadNames()
         return v;
     }();
     return names;
+}
+
+const std::vector<std::string> &
+workloadNames(const std::string &family)
+{
+    static const std::vector<std::string> splash = [] {
+        std::vector<std::string> v;
+        for (const auto &e : kRegistry)
+            if (std::string("splash") == e.family)
+                v.emplace_back(e.name);
+        return v;
+    }();
+    static const std::vector<std::string> server = [] {
+        std::vector<std::string> v;
+        for (const auto &e : kRegistry)
+            if (std::string("server") == e.family)
+                v.emplace_back(e.name);
+        return v;
+    }();
+    if (family == "splash")
+        return splash;
+    if (family == "server")
+        return server;
+    cord_fatal("unknown workload family '", family, "'");
+}
+
+const std::string &
+workloadFamily(const std::string &name)
+{
+    static const std::string splash = "splash";
+    static const std::string server = "server";
+    for (const auto &e : kRegistry) {
+        if (name == e.name)
+            return std::string("server") == e.family ? server : splash;
+    }
+    cord_fatal("unknown workload '", name, "'");
 }
 
 } // namespace cord

@@ -1,0 +1,80 @@
+#include "workloads/server/traffic.h"
+
+#include <bit>
+
+namespace cord
+{
+namespace server
+{
+
+namespace
+{
+
+/** ln(2) in q16 fixed point. */
+constexpr std::uint64_t kLn2Q16 = 45426;
+
+} // namespace
+
+Tick
+expGap(Rng &rng, Tick meanTicks)
+{
+    if (meanTicks == 0)
+        return 0;
+    // U = r / 2^64 in (0, 1]; gap = mean * -ln(U).  Split r into its
+    // bit width w and a q16 mantissa f in [1, 2), then take the binary
+    // logarithm of f with 16 shift-and-square steps: -log2(U) =
+    // (64 - w) + (1 - log2 f), all in q16 integer arithmetic.
+    const std::uint64_t r = rng.next() | 1;
+    const unsigned w = static_cast<unsigned>(std::bit_width(r));
+    std::uint64_t f =
+        w >= 17 ? (r >> (w - 17)) : (r << (17 - w)); // q16, [1, 2)
+    std::uint64_t lf = 0;                            // log2(f) in q16
+    for (int i = 0; i < 16; ++i) {
+        f = (f * f) >> 16;
+        lf <<= 1;
+        if (f >= (2ULL << 16)) {
+            lf |= 1;
+            f >>= 1;
+        }
+    }
+    const std::uint64_t negLog2Q16 =
+        ((64ULL - w) << 16) + (65536ULL - lf);
+    // mean * ln2 * -log2(U): products stay well under 2^63 for any
+    // plausible mean (<= ~2^40 ticks).
+    return static_cast<Tick>(
+        (negLog2Q16 * static_cast<std::uint64_t>(meanTicks) * kLn2Q16) >>
+        32);
+}
+
+std::vector<Tick>
+makeArrivals(const TrafficConfig &cfg)
+{
+    std::vector<Tick> arrivals;
+    arrivals.reserve(cfg.requests);
+    Rng rng(cfg.seed);
+    const Tick mean = effectiveMeanGap(cfg);
+    Tick t = 0;
+    if (cfg.mode == ArrivalMode::Poisson) {
+        for (unsigned i = 0; i < cfg.requests; ++i) {
+            t += expGap(rng, mean);
+            arrivals.push_back(t);
+        }
+        return arrivals;
+    }
+    // Bursty: burstLen back-to-back arrivals (tiny intra-burst gaps),
+    // then one long exponential silence sized so the overall mean rate
+    // matches the Poisson mode at the same load.
+    const unsigned burst = cfg.burstLen == 0 ? 1 : cfg.burstLen;
+    const Tick intraGap = mean / 16 == 0 ? 1 : mean / 16;
+    while (arrivals.size() < cfg.requests) {
+        for (unsigned i = 0; i < burst && arrivals.size() < cfg.requests;
+             ++i) {
+            t += i == 0 ? expGap(rng, mean * burst) : intraGap;
+            arrivals.push_back(t);
+        }
+    }
+    return arrivals;
+}
+
+} // namespace server
+} // namespace cord

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * worksteal -- work-stealing thread pool.  Each thread owns a bounded
+ * LIFO deque (patterns::SharedStack); bursty arrivals push tasks onto
+ * the owner's deque, idle threads pop their own work first and then
+ * probe the other deques round-robin.  A lock-protected completion
+ * counter terminates the pool once every task has executed, wherever
+ * it was stolen to.  Task outputs are per-task disjoint regions, so a
+ * clean run is race-free; removing a deque's lock races the head/slot
+ * words, and removing the completion lock loses count updates.
+ *
+ * The idle backoff is jittered from a per-thread seed stream: the
+ * simulator is deterministic, so two threads polling the same lock
+ * with identical fixed-length cycles can phase-lock -- one forever
+ * probing while the other holds -- and the jitter is what guarantees
+ * the relative phases drift until every contender gets through.
+ */
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/factories.h"
+#include "workloads/patterns.h"
+#include "workloads/server/traffic.h"
+#include "workloads/workload.h"
+
+namespace cord
+{
+namespace
+{
+
+using server::TrafficConfig;
+using server::TrafficStats;
+
+class WorkSteal final : public Workload
+{
+  public:
+    const WorkloadMeta &
+    meta() const override
+    {
+        static const WorkloadMeta m{
+            "worksteal", "n/a (server tier)",
+            "per-thread deques, 12*scale tasks/thread, bursty arrivals",
+            "work-stealing deque locks + completion counter", "server"};
+        return m;
+    }
+
+    void
+    setup(const WorkloadParams &p, AddressSpace &as) override
+    {
+        params_ = p;
+        perThread_ = 12 * p.scale;
+        total_ = perThread_ * p.numThreads;
+
+        deques_.clear();
+        for (unsigned t = 0; t < p.numThreads; ++t)
+            deques_.push_back(patterns::SharedStack::make(
+                as, perThread_, "deque"));
+        doneLock_ = as.allocSync("pool.doneLock");
+        doneCount_ = as.allocSharedLineAligned(1, "pool.doneCount");
+        input_ = as.allocSharedLineAligned(kInputWords, "pool.input");
+        output_ = as.allocSharedLineAligned(total_ * kTaskWords,
+                                            "pool.output");
+
+        TrafficConfig cfg;
+        cfg.mode = server::ArrivalMode::Bursty;
+        cfg.requests = perThread_;
+        cfg.loadPercent = p.loadPercent;
+        cfg.meanGapTicks = kMeanGapTicks;
+        cfg.burstLen = 4;
+        arrivals_ = server::perThreadArrivals(cfg, p.numThreads, p.seed,
+                                              kTrafficTag);
+
+        stats_ = TrafficStats{};
+        stats_.loadPercent = p.loadPercent;
+        stats_.saturationLatency = 8 * kMeanGapTicks;
+    }
+
+    Task<void>
+    body(SyncRuntime &rt, ThreadCtx &ctx) override
+    {
+        return run(rt, ctx);
+    }
+
+    void
+    exportStats(StatRegistry &out) const override
+    {
+        stats_.exportInto(out);
+    }
+
+  private:
+    static constexpr unsigned kTaskWords = 4;  //!< output words per task
+    static constexpr unsigned kInputWords = 32;
+    static constexpr Tick kMeanGapTicks = 1600;
+    static constexpr std::uint64_t kTrafficTag = 0x37ea;
+    static constexpr std::uint64_t kJitterTag = 0x37eb;
+
+    std::uint64_t
+    taskId(unsigned owner, unsigned idx) const
+    {
+        return (static_cast<std::uint64_t>(idx) << 8) | owner;
+    }
+
+    Task<void>
+    run(SyncRuntime &rt, ThreadCtx &ctx)
+    {
+        const unsigned tid = ctx.tid;
+        const unsigned nt = params_.numThreads;
+        const auto &arr = arrivals_[tid];
+        Rng jitter(Rng::deriveSeed(
+            Rng::deriveSeed(params_.seed, kJitterTag), tid));
+        // Exponential idle backoff (see eventloop.cpp): probe hard
+        // while tasks flow, back off up to 32x when every deque keeps
+        // coming up empty, so the removable-instance census is not
+        // dominated by read-only idle probes.
+        unsigned emptyRounds = 0;
+        unsigned pushed = 0;
+        Tick now = (co_await opCompute(0)).now;
+        for (;;) {
+            // Arrivals that are due go onto my own deque first.
+            if (pushed < arr.size() && now >= arr[pushed]) {
+                co_await patterns::stackPush(rt, ctx, deques_[tid],
+                                             taskId(tid, pushed));
+                ++stats_.arrived;
+                ++pushed;
+                emptyRounds = 0;
+                now = (co_await opCompute(0)).now;
+                continue;
+            }
+            // Execute one task: own deque first, then steal.
+            std::uint64_t v =
+                co_await patterns::stackPop(rt, ctx, deques_[tid]);
+            for (unsigned k = 1; k < nt && v == patterns::kStackEmpty;
+                 ++k)
+                v = co_await patterns::stackPop(rt, ctx,
+                                                deques_[(tid + k) % nt]);
+            if (v != patterns::kStackEmpty) {
+                const unsigned owner = static_cast<unsigned>(v & 0xff);
+                const unsigned idx = static_cast<unsigned>(v >> 8);
+                co_await patterns::readWords(input_, kInputWords / 4);
+                co_await patterns::fillWords(
+                    output_ + (static_cast<std::uint64_t>(owner) *
+                                   perThread_ +
+                               idx) *
+                                  kTaskWords * kWordBytes,
+                    kTaskWords, v);
+                co_await opCompute(16);
+                co_await rt.lock(ctx, doneLock_);
+                const std::uint64_t dc =
+                    (co_await opLoad(doneCount_)).value;
+                co_await opStore(doneCount_, dc + 1);
+                co_await rt.unlock(ctx, doneLock_);
+                now = (co_await opCompute(0)).now;
+                stats_.recordLatency(arrivals_[owner][idx], now);
+                emptyRounds = 0;
+                continue;
+            }
+            // Idle: all deques looked empty.  Once my arrivals are all
+            // pushed, leave when the pool has executed every task.
+            if (pushed == arr.size()) {
+                co_await rt.lock(ctx, doneLock_);
+                const std::uint64_t dc =
+                    (co_await opLoad(doneCount_)).value;
+                co_await rt.unlock(ctx, doneLock_);
+                if (dc >= total_)
+                    co_return;
+            }
+            if (emptyRounds < 5)
+                ++emptyRounds;
+            const std::uint32_t base = 32u << emptyRounds;
+            now = (co_await opCompute(
+                       base +
+                       static_cast<std::uint32_t>(jitter.below(base))))
+                      .now;
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned perThread_ = 0;
+    std::uint64_t total_ = 0;
+    std::vector<patterns::SharedStack> deques_;
+    Addr doneLock_ = 0;
+    Addr doneCount_ = 0;
+    Addr input_ = 0;
+    Addr output_ = 0;
+    std::vector<std::vector<Tick>> arrivals_;
+    TrafficStats stats_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkSteal()
+{
+    return std::make_unique<WorkSteal>();
+}
+
+} // namespace cord

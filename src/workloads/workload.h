@@ -22,6 +22,7 @@
 #include "runtime/address_space.h"
 #include "runtime/sim_task.h"
 #include "runtime/sync.h"
+#include "sim/stats.h"
 #include "sim/types.h"
 
 namespace cord
@@ -33,6 +34,15 @@ struct WorkloadParams
     unsigned numThreads = kDefaultNumThreads;
     unsigned scale = 1;      //!< input-set multiplier (1 = default bench size)
     std::uint64_t seed = 1;  //!< shared-structure and per-thread RNG seed
+
+    /**
+     * Offered-load level for the server workload family, as a percent
+     * of each application's nominal arrival rate (100 = nominal,
+     * 200 = twice the traffic, 50 = half).  The SPLASH analogs have no
+     * arrival process and ignore it, so the same params drive both
+     * families.
+     */
+    unsigned loadPercent = 100;
 
     /**
      * Include the applications' *pre-existing* data races.  The paper
@@ -54,6 +64,10 @@ struct WorkloadMeta
     std::string paperInput; //!< input set used in the paper
     std::string ourInput;   //!< the scaled analog this repo runs
     std::string syncIdiom;  //!< dominant synchronization structure
+
+    /** Workload family: "splash" (Table 1 scientific kernels) or
+     *  "server" (traffic-driven serving scenarios). */
+    std::string family = "splash";
 };
 
 /**
@@ -74,13 +88,27 @@ class Workload
 
     /** The program of thread @p ctx.tid. */
     virtual Task<void> body(SyncRuntime &rt, ThreadCtx &ctx) = 0;
+
+    /**
+     * Export application-level statistics gathered during the run
+     * (called once by the runner after the simulation finishes).  The
+     * server family reports per-request latency histograms and
+     * drop/saturation counters here; the SPLASH analogs have none.
+     */
+    virtual void exportStats(StatRegistry &) const {}
 };
 
 /** Factory: create a workload by name; fatal on unknown name. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);
 
-/** All workload names, in the paper's Table 1 order. */
+/** All workload names: Table 1 order, then the server family. */
 const std::vector<std::string> &workloadNames();
+
+/** The names of one family ("splash" or "server") in registry order. */
+const std::vector<std::string> &workloadNames(const std::string &family);
+
+/** Family of a registered workload; fatal on unknown name. */
+const std::string &workloadFamily(const std::string &name);
 
 } // namespace cord
 

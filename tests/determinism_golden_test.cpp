@@ -95,6 +95,14 @@ constexpr std::uint64_t kGoldenScheduleLog = 0xaa4fe2a9ad29089cULL;
 constexpr std::uint64_t kGoldenDirectoryManifest = 0x65568e2d17cc9c63ULL;
 constexpr std::uint64_t kGoldenDirectoryOrderLog = 0xd793157c69bdce5eULL;
 
+// Server workload tier fixture (PR 9): kvstore at 200% offered load on
+// the default 4-core snooping machine.  Covers the reader-writer lock
+// sync instances, the integer-exponential arrival schedules, and the
+// jittered-spin runtime path the server family runs on; the splash
+// goldens above must stay byte-identical to prove the jitter is truly
+// opt-in per family.
+constexpr std::uint64_t kGoldenServerOrderLog = 0x80a470cfaec1db92ULL;
+
 /** The fixture campaign: small but exercises injections, two detector
  *  families, finite + infinite residency, and the walker. */
 CampaignConfig
@@ -225,6 +233,33 @@ TEST(DeterminismGolden, OrderLogBytes)
     report("kGoldenOrderLog", fnv1a(wire));
     EXPECT_EQ(fnv1a(wire), kGoldenOrderLog)
         << "order-log bytes changed vs. the pre-rewrite golden";
+}
+
+TEST(DeterminismGolden, ServerOrderLogBytes)
+{
+    RunSetup setup;
+    setup.workload = "kvstore";
+    setup.params.numThreads = 4;
+    setup.params.scale = 1;
+    setup.params.seed = 12;
+    setup.params.loadPercent = 200;
+
+    const CordConfig cc = CordConfig::forMachine(setup.machine, 4);
+    auto oneRun = [&]() {
+        CordDetector cord(cc);
+        RunSetup s = setup;
+        s.detectors = {&cord};
+        const RunOutcome out = runWorkload(s);
+        EXPECT_TRUE(out.completed);
+        return encodeOrderLog(cord.orderLog());
+    };
+    const std::vector<std::uint8_t> wire = oneRun();
+    ASSERT_FALSE(wire.empty());
+    EXPECT_EQ(wire, oneRun())
+        << "jittered spin must still be deterministic per seed";
+    report("kGoldenServerOrderLog", fnv1a(wire));
+    EXPECT_EQ(fnv1a(wire), kGoldenServerOrderLog)
+        << "server-tier order-log bytes changed";
 }
 
 TEST(DeterminismGolden, ScheduleLogBytes)

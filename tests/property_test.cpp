@@ -98,8 +98,13 @@ TEST_P(SoundnessSweep, InjectedRunsSatisfyAllProperties)
                     << app << " thread " << t;
         }
 
-        // P4: injected executions replay exactly.
-        if (out.completed && i == 0) {
+        // P4: injected executions replay exactly.  Server-family
+        // instruction streams are timing-dependent (the open-loop
+        // pacer reads the simulated clock), so no order-log gate can
+        // reproduce them under a perturbed machine -- the family
+        // replays via schedule logs instead (docs/WORKLOADS.md, and
+        // the ReplayReproducesReadValues skip in integration_test).
+        if (out.completed && i == 0 && workloadFamily(app) != "server") {
             RemoveOneInstance filter2(pick);
             RunSetup rep;
             rep.workload = app;

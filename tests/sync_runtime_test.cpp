@@ -229,5 +229,149 @@ TEST(SyncRuntime, BarrierInstancesDecomposeIntoPrimitives)
     EXPECT_EQ(fx.rt.flagInstances(), 3u);
 }
 
+// Per-reader "inside" slots, each written by exactly its own thread:
+// concurrent readers are legal under the lock, so a shared counter
+// updated with plain load/store would itself race.
+Task<void>
+rwReader(SyncRuntime &rt, ThreadCtx &ctx, Addr rw, Addr counter,
+         Addr inSlots, unsigned nReaders, unsigned iters,
+         std::uint64_t &maxReaders, bool &sawTear)
+{
+    const Addr mySlot = inSlots + ctx.tid * kWordBytes;
+    for (unsigned i = 0; i < iters; ++i) {
+        co_await rt.rwReadLock(ctx, rw);
+        co_await opStore(mySlot, 1);
+        std::uint64_t in = 0;
+        for (unsigned r = 0; r < nReaders; ++r)
+            in += (co_await opLoad(inSlots + r * kWordBytes)).value;
+        if (in > maxReaders)
+            maxReaders = in;
+        // The counter must be stable across a read-side critical
+        // section: a writer sneaking in mid-read tears it.
+        const std::uint64_t a = (co_await opLoad(counter)).value;
+        co_await opCompute(30);
+        const std::uint64_t b = (co_await opLoad(counter)).value;
+        if (a != b)
+            sawTear = true;
+        co_await opStore(mySlot, 0);
+        co_await rt.rwReadUnlock(ctx, rw);
+        co_await opCompute(10);
+    }
+}
+
+Task<void>
+rwWriter(SyncRuntime &rt, ThreadCtx &ctx, Addr rw, Addr counter,
+         Addr inSlots, unsigned nReaders, unsigned iters,
+         bool &writerSawReader)
+{
+    for (unsigned i = 0; i < iters; ++i) {
+        co_await rt.rwWriteLock(ctx, rw);
+        for (unsigned r = 0; r < nReaders; ++r)
+            if ((co_await opLoad(inSlots + r * kWordBytes)).value != 0)
+                writerSawReader = true;
+        const std::uint64_t v = (co_await opLoad(counter)).value;
+        co_await opCompute(25);
+        co_await opStore(counter, v + 1);
+        co_await rt.rwWriteUnlock(ctx, rw);
+        co_await opCompute(15);
+    }
+}
+
+TEST(SyncRuntime, RwLockReadersShareWritersExclude)
+{
+    Fixture fx;
+    const Addr rw = fx.as.allocSync();
+    const Addr counter = fx.as.allocSharedLineAligned(4);
+    const Addr inSlots = counter + kWordBytes;
+    std::uint64_t maxReaders = 0;
+    bool sawTear = false, writerSawReader = false;
+
+    Simulation sim(fx.machine, 4);
+    for (unsigned t = 0; t < 3; ++t)
+        sim.spawn(static_cast<ThreadId>(t),
+                  rwReader(fx.rt, *fx.ctxs[t], rw, counter, inSlots, 3,
+                           20, maxReaders, sawTear));
+    sim.spawn(3, rwWriter(fx.rt, *fx.ctxs[3], rw, counter, inSlots, 3,
+                          15, writerSawReader));
+    ASSERT_TRUE(sim.run(1000000000ULL));
+    EXPECT_GT(maxReaders, 1u)
+        << "readers never overlapped: the lock is not shared-mode";
+    EXPECT_FALSE(sawTear)
+        << "a writer updated the counter inside a read section";
+    EXPECT_FALSE(writerSawReader)
+        << "a reader was active inside a write section";
+    EXPECT_EQ(sim.memory().load(counter), 15u);
+    EXPECT_EQ(sim.memory().load(rw), 0u) << "lock word not released";
+    EXPECT_EQ(fx.rt.rwReadInstances(), 3u * 20u);
+    EXPECT_EQ(fx.rt.rwWriteInstances(), 15u);
+    // rwlock instances are removable sync instances like lock pairs.
+    EXPECT_EQ(fx.rt.totalInstances(), 3u * 20u + 15u);
+}
+
+TEST(SyncRuntime, RemovedRwWriteLockBreaksExclusion)
+{
+    // Removing a writer's RwWritePair instance must let it write while
+    // readers are inside, and must skip the matching unlock.
+    class SkipWriter : public SyncInstanceFilter
+    {
+      public:
+        bool
+        skipInstance(ThreadId tid, std::uint64_t,
+                     SyncInstanceKind kind) override
+        {
+            return tid == 3 && kind == SyncInstanceKind::RwWritePair;
+        }
+    } filter;
+
+    Fixture fx(&filter);
+    const Addr rw = fx.as.allocSync();
+    const Addr counter = fx.as.allocSharedLineAligned(4);
+    const Addr inSlots = counter + kWordBytes;
+    std::uint64_t maxReaders = 0;
+    bool sawTear = false, writerSawReader = false;
+
+    Simulation sim(fx.machine, 4);
+    for (unsigned t = 0; t < 3; ++t)
+        sim.spawn(static_cast<ThreadId>(t),
+                  rwReader(fx.rt, *fx.ctxs[t], rw, counter, inSlots, 3,
+                           20, maxReaders, sawTear));
+    sim.spawn(3, rwWriter(fx.rt, *fx.ctxs[3], rw, counter, inSlots, 3,
+                          15, writerSawReader));
+    ASSERT_TRUE(sim.run(1000000000ULL));
+    EXPECT_EQ(fx.rt.removedInstances(), 15u);
+    EXPECT_TRUE(sawTear || writerSawReader)
+        << "removal should have let the writer overlap a reader";
+    EXPECT_EQ(sim.memory().load(rw), 0u)
+        << "skipped unlocks must not corrupt the lock word";
+}
+
+TEST(SyncRuntime, JitteredSpinPreservesMutualExclusion)
+{
+    // The server tier runs with jittered spin retries (to break
+    // deterministic phase-lock); jitter must not affect correctness.
+    AddressSpace as;
+    MachineConfig machine;
+    SyncRuntime rt(nullptr, 40, /*jitterSpin=*/true);
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    for (unsigned t = 0; t < 4; ++t) {
+        ctxs.push_back(std::make_unique<ThreadCtx>());
+        ctxs.back()->tid = static_cast<ThreadId>(t);
+        ctxs.back()->rng.reseed(200 + t);
+    }
+    const Addr lock = as.allocSync();
+    const Addr counter = as.allocSharedLineAligned(2);
+    const Addr inCs = counter + kWordBytes;
+    std::uint64_t maxSeen = 0;
+
+    Simulation sim(machine, 4);
+    for (unsigned t = 0; t < 4; ++t)
+        sim.spawn(static_cast<ThreadId>(t),
+                  criticalIncrements(rt, *ctxs[t], lock, counter, inCs,
+                                     25, maxSeen));
+    ASSERT_TRUE(sim.run(1000000000ULL));
+    EXPECT_EQ(maxSeen, 1u);
+    EXPECT_EQ(sim.memory().load(counter), 100u);
+}
+
 } // namespace
 } // namespace cord

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the server tier's traffic engine
+ * (workloads/server/traffic.h): deterministic integer-exponential
+ * arrival schedules, load scaling, burstiness, and the per-run request
+ * accounting the run manifests export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/stats.h"
+#include "workloads/server/traffic.h"
+
+namespace cord
+{
+namespace
+{
+
+using server::ArrivalMode;
+using server::TrafficConfig;
+using server::TrafficStats;
+
+TEST(Traffic, ExpGapIsDeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool anyDiffer = false;
+    for (unsigned i = 0; i < 256; ++i) {
+        const Tick ga = server::expGap(a, 2000);
+        const Tick gb = server::expGap(b, 2000);
+        EXPECT_EQ(ga, gb) << "same seed must give the same gap stream";
+        if (ga != server::expGap(c, 2000))
+            anyDiffer = true;
+    }
+    EXPECT_TRUE(anyDiffer) << "different seeds gave identical streams";
+}
+
+TEST(Traffic, ExpGapMeanTracksNominal)
+{
+    // The q16 shift-and-square log is an approximation; its mean must
+    // still land near the nominal gap (the sampler calibrates offered
+    // load, so a biased mean shifts every load level).
+    Rng rng(7);
+    const Tick mean = 2000;
+    double sum = 0;
+    const unsigned n = 50000;
+    for (unsigned i = 0; i < n; ++i)
+        sum += static_cast<double>(server::expGap(rng, mean));
+    const double observed = sum / n;
+    EXPECT_GT(observed, mean * 0.93);
+    EXPECT_LT(observed, mean * 1.07);
+}
+
+TEST(Traffic, ArrivalsAreNondecreasingAndDeterministic)
+{
+    TrafficConfig cfg;
+    cfg.mode = ArrivalMode::Poisson;
+    cfg.requests = 500;
+    cfg.seed = 99;
+    const std::vector<Tick> a = server::makeArrivals(cfg);
+    const std::vector<Tick> b = server::makeArrivals(cfg);
+    ASSERT_EQ(a.size(), 500u);
+    EXPECT_EQ(a, b);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_LE(a[i - 1], a[i]) << "arrival ticks regressed at " << i;
+}
+
+TEST(Traffic, LoadScalesArrivalSpan)
+{
+    // Doubling the offered load must roughly halve the schedule span;
+    // both use the same seed so the underlying uniform stream cancels.
+    TrafficConfig cfg;
+    cfg.mode = ArrivalMode::Poisson;
+    cfg.requests = 2000;
+    cfg.seed = 5;
+    cfg.loadPercent = 100;
+    const Tick span100 = server::makeArrivals(cfg).back();
+    cfg.loadPercent = 200;
+    const Tick span200 = server::makeArrivals(cfg).back();
+    ASSERT_GT(span100, 0u);
+    const double ratio =
+        static_cast<double>(span100) / static_cast<double>(span200);
+    EXPECT_GT(ratio, 1.8);
+    EXPECT_LT(ratio, 2.2);
+}
+
+TEST(Traffic, BurstyIsBurstierThanPoissonAtTheSameRate)
+{
+    // Same request count, seed and load: the bursty schedule must show
+    // a much higher coefficient of variation in its inter-arrival gaps
+    // while keeping a comparable overall span (same mean rate).
+    TrafficConfig cfg;
+    cfg.requests = 4000;
+    cfg.seed = 11;
+    cfg.burstLen = 8;
+    auto gapCv = [](const std::vector<Tick> &arr) {
+        double sum = 0, sq = 0;
+        for (std::size_t i = 1; i < arr.size(); ++i) {
+            const double g = static_cast<double>(arr[i] - arr[i - 1]);
+            sum += g;
+            sq += g * g;
+        }
+        const double n = static_cast<double>(arr.size() - 1);
+        const double mean = sum / n;
+        const double var = sq / n - mean * mean;
+        return std::sqrt(var > 0 ? var : 0) / mean;
+    };
+    cfg.mode = ArrivalMode::Poisson;
+    const std::vector<Tick> poisson = server::makeArrivals(cfg);
+    cfg.mode = ArrivalMode::Bursty;
+    const std::vector<Tick> bursty = server::makeArrivals(cfg);
+    EXPECT_GT(gapCv(bursty), 1.5 * gapCv(poisson));
+    const double spanRatio = static_cast<double>(bursty.back()) /
+                             static_cast<double>(poisson.back());
+    EXPECT_GT(spanRatio, 0.6);
+    EXPECT_LT(spanRatio, 1.6) << "bursty mode changed the mean rate";
+}
+
+TEST(Traffic, PerThreadSchedulesAreIndependentSubstreams)
+{
+    TrafficConfig base;
+    base.mode = ArrivalMode::Poisson;
+    base.requests = 64;
+    const auto two = server::perThreadArrivals(base, 2, 77, 0x1234);
+    const auto four = server::perThreadArrivals(base, 4, 77, 0x1234);
+    ASSERT_EQ(two.size(), 2u);
+    ASSERT_EQ(four.size(), 4u);
+    // Growing the thread count must not disturb existing schedules...
+    EXPECT_EQ(two[0], four[0]);
+    EXPECT_EQ(two[1], four[1]);
+    // ...and distinct threads draw from distinct substreams.
+    EXPECT_NE(four[0], four[1]);
+    EXPECT_NE(four[2], four[3]);
+}
+
+TEST(Traffic, StatsAccountLatencyDropsAndSaturation)
+{
+    TrafficStats s;
+    s.loadPercent = 150;
+    s.saturationLatency = 100;
+    s.arrived = 4;
+    s.recordLatency(10, 30);   // 20 ticks
+    s.recordLatency(10, 200);  // 190 ticks: saturated
+    s.recordLatency(50, 40);   // clock skew clamps to 0, still counted
+    s.dropped = 1;
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_EQ(s.saturated, 1u);
+
+    StatRegistry reg;
+    s.exportInto(reg);
+    EXPECT_EQ(reg.get("server.requests.arrived"), 4u);
+    EXPECT_EQ(reg.get("server.requests.completed"), 3u);
+    EXPECT_EQ(reg.get("server.requests.dropped"), 1u);
+    EXPECT_EQ(reg.get("server.requests.saturated"), 1u);
+    EXPECT_EQ(reg.get("server.loadPercent"), 150u);
+    EXPECT_EQ(reg.histogram("server.latencyTicks").count, 3u);
+}
+
+} // namespace
+} // namespace cord

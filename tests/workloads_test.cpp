@@ -28,16 +28,35 @@ sanitize(std::string n)
     return n;
 }
 
-TEST(WorkloadRegistry, TwelveTable1Applications)
+TEST(WorkloadRegistry, SixteenApplicationsAcrossTwoFamilies)
 {
     const auto &names = workloadNames();
-    ASSERT_EQ(names.size(), 12u);
-    const std::set<std::string> expected{
+    ASSERT_EQ(names.size(), 16u);
+    const std::set<std::string> splash{
         "barnes", "cholesky", "fft",      "fmm",
         "lu",     "ocean",    "radiosity", "radix",
         "raytrace", "volrend", "water-n2", "water-sp"};
+    const std::set<std::string> server{"kvstore", "worksteal",
+                                       "rcureg", "eventloop"};
+    std::set<std::string> expected = splash;
+    expected.insert(server.begin(), server.end());
     EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
               expected);
+
+    const auto &splashNames = workloadNames("splash");
+    EXPECT_EQ(std::set<std::string>(splashNames.begin(),
+                                    splashNames.end()),
+              splash);
+    const auto &serverNames = workloadNames("server");
+    EXPECT_EQ(std::set<std::string>(serverNames.begin(),
+                                    serverNames.end()),
+              server);
+    for (const auto &n : splash)
+        EXPECT_EQ(workloadFamily(n), "splash") << n;
+    for (const auto &n : server) {
+        EXPECT_EQ(workloadFamily(n), "server") << n;
+        EXPECT_EQ(makeWorkload(n)->meta().family, "server") << n;
+    }
 }
 
 TEST(WorkloadRegistryDeath, UnknownNameIsFatal)

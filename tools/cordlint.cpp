@@ -121,6 +121,7 @@ runXvalMode(const CordlintCli &cli)
     spec.explore.params.numThreads = cli.threads;
     spec.explore.params.scale = cli.scale;
     spec.explore.params.seed = cli.seed;
+    spec.explore.params.loadPercent = cli.load;
     spec.explore.params.includeKnownRaces = cli.knownRaces;
     spec.explore.machine.numCores = cli.cores;
     spec.explore.sched = cli.sched;

@@ -53,6 +53,7 @@ struct Options
     unsigned scale = 1;
     unsigned threads = 4;
     unsigned cores = 4;
+    unsigned load = 100; //!< offered load %, server-family traffic
     std::uint64_t seed = 1;
     std::uint32_t d = 16;
     unsigned campaign = 0; //!< >0 = campaign mode with N injections
@@ -92,6 +93,9 @@ usage(std::FILE *to, const char *argv0)
         "  --threads N         software threads, N >= 1 (default 4)\n"
         "  --cores N           processors, N >= 1 (default 4)\n"
         "  --seed N            run seed (default 1)\n"
+        "  --load N            offered load percent for server-family "
+        "workloads\n"
+        "                      (default 100; docs/WORKLOADS.md)\n"
         "  --d N               CORD sync-read margin D (default 16)\n"
         "  --inject TID:SEQ    remove thread TID's SEQ-th sync "
         "instance\n"
@@ -226,6 +230,8 @@ parse(int argc, char **argv)
             opt.cores = static_cast<unsigned>(num(1, 1024));
         } else if (a == "--seed") {
             opt.seed = num(0);
+        } else if (a == "--load") {
+            opt.load = static_cast<unsigned>(num(1, 100000));
         } else if (a == "--d") {
             opt.d = static_cast<std::uint32_t>(num(0, 1u << 30));
         } else if (a == "--campaign") {
@@ -284,7 +290,8 @@ parse(int argc, char **argv)
             opt.heartbeatPath = next();
         } else if (a == "--list") {
             for (const auto &n : workloadNames())
-                std::printf("%s\n", n.c_str());
+                std::printf("%-12s %s\n", n.c_str(),
+                            workloadFamily(n).c_str());
             std::exit(0);
         } else if (a == "--help" || a == "-h") {
             usage(stdout, argv[0]);
@@ -327,6 +334,12 @@ parse(int argc, char **argv)
         fail("--replay only applies to single runs, not --explore");
     if (haveCampaign && opt.replay)
         fail("--replay only applies to single runs, not --campaign");
+    if (opt.replay && workloadFamily(opt.workload) == "server")
+        fail("--replay does not support the server workload family: "
+             "its open-loop pacer reads the simulated clock, so the "
+             "instruction stream is timing-dependent and the order "
+             "log cannot gate it (use --replay-sched, which replays "
+             "the full schedule; see docs/WORKLOADS.md)");
     if (haveCampaign && !opt.tracePath.empty())
         fail("--trace only applies to single runs, not --campaign");
     if (haveExplore && !haveCampaign &&
@@ -389,6 +402,7 @@ makeSpec(const Options &opt)
     spec.params.numThreads = opt.threads;
     spec.params.scale = opt.scale;
     spec.params.seed = opt.seed;
+    spec.params.loadPercent = opt.load;
     spec.params.includeKnownRaces = opt.knownRaces;
     spec.machine.numCores = opt.cores;
     spec.machine.coherence = opt.directory ? CoherenceKind::Directory
@@ -422,6 +436,7 @@ runCampaignMode(const Options &opt)
     cfg.params.numThreads = opt.threads;
     cfg.params.scale = opt.scale;
     cfg.params.seed = opt.seed * 7 + 5;
+    cfg.params.loadPercent = opt.load;
     cfg.params.includeKnownRaces = opt.knownRaces;
     cfg.machine.numCores = opt.cores;
     cfg.machine.coherence = opt.directory ? CoherenceKind::Directory
@@ -549,10 +564,13 @@ runCampaignMode(const Options &opt)
         m.workload = opt.workload;
         m.seed = opt.seed;
         m.setConfig("campaign", std::uint64_t(opt.campaign));
+        m.setConfig("family", workloadFamily(opt.workload));
         m.setConfig("scale", std::uint64_t(opt.scale));
         m.setConfig("threads", std::uint64_t(opt.threads));
         m.setConfig("cores", std::uint64_t(opt.cores));
         m.setConfig("d", std::uint64_t(opt.d));
+        if (opt.load != 100)
+            m.setConfig("load", std::uint64_t(opt.load));
         if (res.schedules > 1) {
             m.setConfig("schedules", std::uint64_t(res.schedules));
             m.setConfig("sched", schedKindName(cfg.sched.kind));
@@ -632,10 +650,13 @@ runExploreMode(const Options &opt)
         m.tool = "cordsim";
         m.workload = opt.workload;
         m.seed = opt.seed;
+        m.setConfig("family", workloadFamily(opt.workload));
         m.setConfig("scale", std::uint64_t(opt.scale));
         m.setConfig("threads", std::uint64_t(opt.threads));
         m.setConfig("cores", std::uint64_t(opt.cores));
         m.setConfig("d", std::uint64_t(opt.d));
+        if (opt.load != 100)
+            m.setConfig("load", std::uint64_t(opt.load));
         m.setConfig("sched", schedKindName(spec.sched.kind));
         m.setConfig("schedSeed", std::uint64_t(spec.seed));
         if (opt.haveInjection)
@@ -753,6 +774,7 @@ runProfileMode(const Options &opt)
     params.numThreads = opt.threads;
     params.scale = opt.scale;
     params.seed = opt.seed;
+    params.loadPercent = opt.load;
     MachineConfig machine;
     machine.numCores = opt.cores;
     machine.coherence = opt.directory ? CoherenceKind::Directory
@@ -802,10 +824,13 @@ runProfileMode(const Options &opt)
         m.workload = opt.workload;
         m.seed = opt.seed;
         m.setConfig("profile", "1");
+        m.setConfig("family", workloadFamily(opt.workload));
         m.setConfig("scale", std::uint64_t(opt.scale));
         m.setConfig("threads", std::uint64_t(opt.threads));
         m.setConfig("cores", std::uint64_t(opt.cores));
         m.setConfig("d", std::uint64_t(opt.d));
+        if (opt.load != 100)
+            m.setConfig("load", std::uint64_t(opt.load));
         m.setConfig("coherence",
                     opt.directory ? "directory" : "snooping");
         m.completed = true;
@@ -839,6 +864,7 @@ main(int argc, char **argv)
     setup.params.numThreads = opt.threads;
     setup.params.scale = opt.scale;
     setup.params.seed = opt.seed;
+    setup.params.loadPercent = opt.load;
     setup.params.includeKnownRaces = opt.knownRaces;
     setup.machine.numCores = opt.cores;
     setup.machine.coherence = opt.directory ? CoherenceKind::Directory
@@ -981,10 +1007,13 @@ main(int argc, char **argv)
         m.tool = "cordsim";
         m.workload = opt.workload;
         m.seed = opt.seed;
+        m.setConfig("family", workloadFamily(opt.workload));
         m.setConfig("scale", std::uint64_t(opt.scale));
         m.setConfig("threads", std::uint64_t(opt.threads));
         m.setConfig("cores", std::uint64_t(opt.cores));
         m.setConfig("d", std::uint64_t(opt.d));
+        if (opt.load != 100)
+            m.setConfig("load", std::uint64_t(opt.load));
         m.setConfig("coherence",
                     opt.directory ? "directory" : "snooping");
         m.setConfig("migrationPeriodInstrs", opt.migrate);

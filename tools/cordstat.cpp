@@ -260,26 +260,69 @@ int
 cmdAgg(const std::vector<std::string> &paths)
 {
     std::map<std::string, std::pair<unsigned, double>> acc; // n, total
+    // Server-family runs additionally fold into a per-(workload, load)
+    // latency-tail table: averaging p50/p99 across loads would bury
+    // exactly the load dependence the serving tier exists to measure.
+    struct ServerAcc
+    {
+        unsigned n = 0;
+        double p50 = 0, p99 = 0, dropped = 0, saturated = 0;
+    };
+    std::map<std::pair<std::string, unsigned>, ServerAcc> server;
+    struct AggItem
+    {
+        std::map<std::string, double> metrics;
+        std::string workload;
+    };
     // Parsing and flattening dominate; fan them out and fold the
     // per-manifest maps in argument order so totals accumulate in the
     // same sequence (and thus round identically) for any job count.
     parallelForOrdered(
         paths.size(), g_jobs,
         [&](std::size_t i) {
-            return manifestMetrics(loadManifest(paths[i]));
+            const JsonValue m = loadManifest(paths[i]);
+            return AggItem{manifestMetrics(m), m.str("workload")};
         },
-        [&](std::size_t, std::map<std::string, double> &&metrics) {
-            for (const auto &[name, v] : metrics) {
+        [&](std::size_t, AggItem &&item) {
+            for (const auto &[name, v] : item.metrics) {
                 auto &[n, total] = acc[name];
                 ++n;
                 total += v;
             }
+            const auto load = item.metrics.find("server.loadPercent");
+            if (load == item.metrics.end())
+                return;
+            auto get = [&](const char *k) {
+                const auto it = item.metrics.find(k);
+                return it == item.metrics.end() ? 0.0 : it->second;
+            };
+            ServerAcc &s =
+                server[{item.workload.empty() ? "?" : item.workload,
+                        static_cast<unsigned>(load->second)}];
+            ++s.n;
+            s.p50 += get("server.latencyTicks.p50");
+            s.p99 += get("server.latencyTicks.p99");
+            s.dropped += get("server.requests.dropped");
+            s.saturated += get("server.requests.saturated");
         });
     std::printf("%-44s %5s %16s %16s\n", "metric", "n", "total", "mean");
     for (const auto &[name, nt] : acc)
         std::printf("%-44s %5u %16s %16s\n", name.c_str(), nt.first,
                     fmtNum(nt.second).c_str(),
                     fmtNum(nt.second / nt.first).c_str());
+    if (!server.empty()) {
+        std::printf("\nserver latency tails per offered load "
+                    "(log2-bucket upper-bound estimates)\n");
+        std::printf("%-12s %6s %5s %12s %12s %10s %10s\n", "workload",
+                    "load%", "n", "p50", "p99", "dropped", "saturated");
+        for (const auto &[key, s] : server)
+            std::printf("%-12s %6u %5u %12s %12s %10s %10s\n",
+                        key.first.c_str(), key.second, s.n,
+                        fmtNum(s.p50 / s.n).c_str(),
+                        fmtNum(s.p99 / s.n).c_str(),
+                        fmtNum(s.dropped / s.n).c_str(),
+                        fmtNum(s.saturated / s.n).c_str());
+    }
     return 0;
 }
 
