@@ -23,6 +23,10 @@
  *                    workloads (100 = nominal arrival rate; splash
  *                    apps ignore it).  Default: first CORD_LOAD entry,
  *                    else 100.
+ *   --sim-shards N   per-run host-thread budget (RunSetup::simShards):
+ *                    N > 1 replays pure-observer detectors on worker
+ *                    threads with bit-identical results; 0 = one per
+ *                    hardware thread.  Composes with --jobs.
  *
  * Environment knobs (all optional):
  *   CORD_SCALE       workload input scale      (default 2)
@@ -34,6 +38,7 @@
  *                    bench_server (default "50,100,200"); a single
  *                    value also sets the --load default everywhere
  *   CORD_JOBS        default for --jobs        (default 1)
+ *   CORD_SIM_SHARDS  default for --sim-shards  (default 1)
  *   CORD_LINT        when set and nonzero, run the cordlint checks
  *                    (docs/ANALYSIS.md) on every experiment run's
  *                    artifacts and abort on any finding
@@ -122,6 +127,11 @@ struct BenchArgs
     unsigned warmup = 1;         //!< untimed repetitions first
     std::string perfOutPath;     //!< "" = the binary's default
     unsigned load = 0;           //!< 0 = resolve from CORD_LOAD / 100
+    unsigned simShards = 1;      //!< per-run host threads
+
+    /** Process start, captured by parseArgs: the reference point of
+     *  elapsedSec() for manifest wallSeconds stamps. */
+    std::chrono::steady_clock::time_point start;
 };
 
 /** The parsed flags (parseArgs fills them; defaults before that). */
@@ -140,11 +150,13 @@ inline void
 parseArgs(int argc, char **argv)
 {
     BenchArgs &a = args();
+    a.start = std::chrono::steady_clock::now();
     if (argc > 0) {
         const char *slash = std::strrchr(argv[0], '/');
         a.tool = slash ? slash + 1 : argv[0];
     }
     a.jobs = defaultJobs();
+    a.simShards = defaultSimShards();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -172,6 +184,9 @@ parseArgs(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         } else if (arg == "--perf-out") {
             a.perfOutPath = value();
+        } else if (arg == "--sim-shards") {
+            a.simShards = resolveSimShards(static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10)));
         } else if (arg == "--load") {
             a.load = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
@@ -184,7 +199,8 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--manifest FILE]"
                          " [--json] [--repeat N] [--warmup N]"
-                         " [--perf-out FILE] [--load N]\n",
+                         " [--perf-out FILE] [--load N]"
+                         " [--sim-shards N]\n",
                          a.tool.c_str());
             std::exit(2);
         }
@@ -311,8 +327,23 @@ campaignFor(const std::string &app)
     cfg.injections = envUnsigned("CORD_INJECTIONS", 30);
     cfg.seed = campaignSeed();
     cfg.jobs = args().jobs;
+    cfg.simShards = args().simShards;
     attachLintObserver(cfg);
     return cfg;
+}
+
+/**
+ * Wall seconds since parseArgs ran: what manifest-writing binaries
+ * stamp into RunManifest::wallSeconds (a volatile field; campaign
+ * manifests saved with includeVolatile=false still suppress it).
+ * Before this helper every bench manifest recorded "wallSeconds": 0.
+ */
+inline double
+elapsedSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - args().start)
+        .count();
 }
 
 /**

@@ -204,6 +204,7 @@ main(int argc, char **argv)
     const std::string out = bench::args().perfOutPath.empty()
                                 ? "BENCH_predict.json"
                                 : bench::args().perfOutPath;
+    manifest.wallSeconds = bench::elapsedSec();
     manifest.save(out, /*includeVolatile=*/true);
     std::printf("manifest      : %s\n", out.c_str());
     return 0;

@@ -257,6 +257,7 @@ main(int argc, char **argv)
     const std::string outPath = bench::args().perfOutPath.empty()
                                     ? "BENCH_scaling.json"
                                     : bench::args().perfOutPath;
+    manifest.wallSeconds = bench::elapsedSec();
     manifest.save(outPath);
     if (!json)
         std::printf("manifest: %s\n", outPath.c_str());

@@ -224,6 +224,7 @@ main(int argc, char **argv)
     const std::string outPath = bench::args().perfOutPath.empty()
                                     ? "BENCH_server.json"
                                     : bench::args().perfOutPath;
+    manifest.wallSeconds = bench::elapsedSec();
     manifest.save(outPath);
     if (!json)
         std::printf("manifest: %s\n", outPath.c_str());

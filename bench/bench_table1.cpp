@@ -88,6 +88,7 @@ main(int argc, char **argv)
         t.print(title);
 
     manifest.tables.push_back({title, t.headers(), t.rows()});
+    manifest.wallSeconds = bench::elapsedSec();
     manifest.save("BENCH_table1.json");
     if (!json)
         std::printf("manifest: BENCH_table1.json\n");

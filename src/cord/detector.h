@@ -95,6 +95,18 @@ class Detector
      *  so the runner can assert machine/detector agreement. */
     virtual DetectorGeometry geometry() const { return {}; }
 
+    /**
+     * True when this detector only *observes* the committed stream and
+     * never feeds anything back into the simulation (no traffic sink,
+     * no timing influence).  Pure observers are functions of the
+     * in-order access stream alone, so `--sim-shards` may run them on
+     * detector-lane worker threads (cpu/detector_lane.h) with
+     * bit-identical results.  A detector bound to a CordTrafficSink
+     * must return false -- its race checks charge the simulated bus
+     * mid-run and therefore must execute inline at the commit tick.
+     */
+    virtual bool pureObserver() const { return true; }
+
     /** Data races found so far. */
     const RaceReport &races() const { return report_; }
 

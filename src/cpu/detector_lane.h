@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Detector lane: runs pure-observer detectors on a host worker thread.
+ *
+ * The machine model's cross-core lookahead is zero (mem/lookahead.h),
+ * so core/memory events cannot be sharded conservatively -- but the
+ * committed access stream flowing *out* of the coordinator into
+ * detectors has unbounded downstream lookahead whenever the detector
+ * never feeds timing back (Detector::pureObserver).  A DetectorLane
+ * exploits that: the simulation thread appends each committed access to
+ * a small local buffer and periodically hands whole batches to a worker
+ * thread, which replays them -- in exactly the published order -- into
+ * the detectors assigned to this lane.
+ *
+ * Determinism: a single producer (the simulation thread) pushes batches
+ * in commit order and HandoffQueue preserves batch order, so the worker
+ * observes the identical stream a sequential run would deliver inline.
+ * Detector state, stats, race reports and order logs are therefore
+ * bit-identical for any shard count -- proven end to end by
+ * tests/pdes_test.cpp and the determinism goldens.
+ *
+ * Threading contract:
+ *  - onAccess/onThreadEnd/flush: simulation (producer) thread only.
+ *  - The worker runs with no thread-local Profiler or EventTracer
+ *    active, so detector-internal hook sites are disabled off-thread;
+ *    lane wait time is attributed producer-side to ProfDomain::
+ *    PdesBarrier instead.  (Runs that need per-detector attribution or
+ *    tracing force --sim-shards 1; cordsim rejects the combination.)
+ *  - join() must be called before reading any detector state; after
+ *    it returns the detectors are owned by the calling thread again,
+ *    and Detector::finish() -- which may publish stats -- runs there,
+ *    not on the worker.
+ */
+
+#ifndef CORD_CPU_DETECTOR_LANE_H
+#define CORD_CPU_DETECTOR_LANE_H
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cord/detector.h"
+#include "mem/access.h"
+#include "sim/handoff_queue.h"
+#include "sim/logging.h"
+
+namespace cord
+{
+
+/** One worker thread replaying the committed stream into a set of
+ *  pure-observer detectors. */
+class DetectorLane
+{
+  public:
+    /** Records handed across the thread boundary. */
+    struct Record
+    {
+        enum class Kind : std::uint8_t
+        {
+            Access,    //!< replay ev into Detector::onAccess
+            ThreadEnd, //!< replay (tid, instrs) into onThreadEnd
+        };
+
+        MemEvent ev;
+        Kind kind = Kind::Access;
+    };
+
+    /** Producer-side batch size: accumulate this many records locally
+     *  before touching the shared queue. */
+    static constexpr std::size_t kBatchRecords = 256;
+
+    /** Host-side lane statistics (volatile; never simulated state). */
+    struct Stats
+    {
+        std::uint64_t records = 0;       //!< records replayed
+        std::uint64_t batches = 0;       //!< batches handed off
+        std::uint64_t producerWaitNs = 0; //!< backpressure stalls
+        std::uint64_t workerIdleNs = 0;  //!< worker waits for work
+    };
+
+    /** @param detectors pure observers this lane replays into; each
+     *  must outlive the lane.  The lane asserts the contract. */
+    explicit DetectorLane(std::vector<Detector *> detectors)
+        : detectors_(std::move(detectors))
+    {
+        cord_assert(!detectors_.empty(), "detector lane needs work");
+        for (const Detector *d : detectors_)
+            cord_assert(d->pureObserver(),
+                        "detector lane given a non-pure observer: ",
+                        d->name().c_str());
+        buffer_.reserve(kBatchRecords);
+        worker_ = std::thread([this] { consume(); });
+    }
+
+    ~DetectorLane()
+    {
+        // Defensive: normal shutdown goes through join().
+        if (worker_.joinable())
+            join();
+    }
+
+    DetectorLane(const DetectorLane &) = delete;
+    DetectorLane &operator=(const DetectorLane &) = delete;
+
+    /** Producer thread: queue one committed access. */
+    void
+    onAccess(const MemEvent &ev)
+    {
+        buffer_.push_back(Record{ev, Record::Kind::Access});
+        if (buffer_.size() >= kBatchRecords)
+            flush();
+    }
+
+    /** Producer thread: queue a thread-end notification. */
+    void
+    onThreadEnd(ThreadId tid, std::uint64_t totalInstrs)
+    {
+        MemEvent ev;
+        ev.tid = tid;
+        ev.instrCount = totalInstrs;
+        buffer_.push_back(Record{ev, Record::Kind::ThreadEnd});
+        if (buffer_.size() >= kBatchRecords)
+            flush();
+    }
+
+    /** Producer thread: hand the local buffer to the worker now. */
+    void
+    flush()
+    {
+        if (buffer_.empty())
+            return;
+        stats_.producerWaitNs += queue_.pushBatch(std::move(buffer_));
+        buffer_.clear();
+        buffer_.reserve(kBatchRecords);
+    }
+
+    /**
+     * Flush the tail, close the stream, and wait for the worker to
+     * drain it.  After this returns, detector state is fully caught up
+     * with everything published and safe to read from the caller.
+     * @return nanoseconds the caller spent blocked on the worker
+     */
+    std::uint64_t
+    join()
+    {
+        cord_assert(worker_.joinable(), "detector lane joined twice");
+        flush();
+        queue_.close();
+        const auto t0 = std::chrono::steady_clock::now();
+        worker_.join();
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+
+    /** Valid after join(). */
+    const Stats &stats() const { return stats_; }
+
+    const std::vector<Detector *> &detectors() const { return detectors_; }
+
+  private:
+    void
+    consume()
+    {
+        std::vector<Record> batch;
+        while (queue_.popBatch(batch, &stats_.workerIdleNs)) {
+            ++stats_.batches;
+            for (const Record &r : batch) {
+                if (r.kind == Record::Kind::Access) {
+                    for (Detector *d : detectors_)
+                        d->onAccess(r.ev);
+                } else {
+                    for (Detector *d : detectors_)
+                        d->onThreadEnd(r.ev.tid, r.ev.instrCount);
+                }
+            }
+            stats_.records += batch.size();
+        }
+    }
+
+    std::vector<Detector *> detectors_;
+    std::vector<Record> buffer_;
+    HandoffQueue<Record> queue_;
+    Stats stats_;
+    std::thread worker_;
+};
+
+} // namespace cord
+
+#endif // CORD_CPU_DETECTOR_LANE_H

@@ -24,6 +24,42 @@ defaultJobs()
         static_cast<unsigned>(std::strtoul(v, nullptr, 10)));
 }
 
+unsigned
+resolveSimShards(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+defaultSimShards()
+{
+    const char *v = std::getenv("CORD_SIM_SHARDS");
+    if (!v || !*v)
+        return 1;
+    return resolveSimShards(
+        static_cast<unsigned>(std::strtoul(v, nullptr, 10)));
+}
+
+const char *
+simShardsComboError(unsigned shards, bool traceRequested,
+                    bool profileRequested)
+{
+    if (shards <= 1)
+        return nullptr;
+    if (traceRequested)
+        return "--sim-shards > 1 cannot be combined with --trace: "
+               "detectors emit trace events into a thread-local "
+               "tracer, which off-thread replay would silently drop";
+    if (profileRequested)
+        return "--sim-shards > 1 cannot be combined with --profile: "
+               "per-detector wall attribution needs the detectors on "
+               "the profiled thread";
+    return nullptr;
+}
+
 std::uint64_t
 mixSeed(std::uint64_t seed, std::uint64_t index)
 {

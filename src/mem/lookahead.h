@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The PDES lookahead contract: what conservative windows the machine
+ * model's timing constants do -- and do not -- support.
+ *
+ * Conservative parallel simulation (sim/sharded_queue.h) partitions
+ * events across shards and drains each shard to a horizon H = T + L,
+ * where L is the *lookahead*: a static lower bound on how far in the
+ * future any cross-shard interaction scheduled "now" can land.  The
+ * window drain is provably safe iff L >= 1 tick (see the proof sketch
+ * in sim/sharded_queue.h).
+ *
+ * This header names the paper's timing constants (Section 3.1) as
+ * constexpr values, derives the two lookahead figures from them, and
+ * static_asserts the properties the kernel architecture rests on:
+ *
+ *  - `minResponseTicks` -- the earliest any *memory response* can come
+ *    back to a core after issue.  The cheapest path is an L1 hit
+ *    (1 cycle), so response events always land strictly after the
+ *    issue tick.  This is the lookahead that makes the detector-lane
+ *    stream (cpu/detector_lane.h) and any response-side sharding
+ *    conservative.
+ *
+ *  - `crossCoreTicks` -- the earliest a committed access on one core
+ *    can *observably affect another core*.  In this model that bound
+ *    is ZERO: TimingMemory::access invalidates remote L2 copies and
+ *    mutates the shared bus free-time synchronously, at the issue tick
+ *    itself (mem/timing_mem.cpp; the paper's atomic-bus abstraction).
+ *    A zero cross-core lookahead means core-sharded conservative
+ *    windows would always degenerate to one event per window -- which
+ *    is why cpu/simulation.cpp keeps core/memory events on a single
+ *    coordinating lane and ships the committed-access stream (whose
+ *    downstream lookahead is unbounded: pure-observer detectors never
+ *    feed timing back) to worker threads instead.  docs/PERFORMANCE.md
+ *    §6 walks through the derivation and its consequences.
+ *
+ * MachineConfig's member initializers reference these constants, so a
+ * change to the simulated timing model shows up here first and the
+ * static_asserts re-check the contract at compile time.
+ */
+
+#ifndef CORD_MEM_LOOKAHEAD_H
+#define CORD_MEM_LOOKAHEAD_H
+
+#include <algorithm>
+
+#include "sim/types.h"
+
+namespace cord
+{
+
+// Paper Section 3.1 timing constants (processor cycles at 4 GHz).
+constexpr Tick kL1HitLatency = 1;
+constexpr Tick kL2HitLatency = 8;
+constexpr Tick kCacheToCacheLatency = 20;
+constexpr Tick kMemoryLatency = 600;
+constexpr Tick kUpgradeLatency = 8;
+constexpr Tick kAddrBusOccupancy = 8;  // one addr-bus cycle at 500 MHz
+constexpr Tick kDataBusOccupancy = 16; // four 128-bit beats at 1 GHz
+constexpr Tick kOffChipBusOccupancy = 80;
+constexpr Tick kDirectoryLatency = 16;
+constexpr Tick kForwardLatency = 30;
+
+/** Static lookahead bounds derived from the timing constants. */
+struct Lookahead
+{
+    /** Earliest tick delta from a memory issue to its response. */
+    Tick minResponseTicks = 0;
+
+    /** Earliest tick delta from a commit on one core to an observable
+     *  effect on another core (0 = same-tick coupling). */
+    Tick crossCoreTicks = 0;
+};
+
+/**
+ * Lookahead for a machine description.  Uses the config's actual
+ * latencies (which may be scaled in experiments) rather than the
+ * defaults, so the bound stays valid under timing sweeps.
+ */
+template <typename Machine>
+constexpr Lookahead
+lookaheadFor(const Machine &m)
+{
+    Lookahead la;
+    la.minResponseTicks =
+        std::min({m.l1HitLatency, m.l2HitLatency, m.cacheToCacheLatency,
+                  m.memoryLatency});
+    // Remote-L2 invalidation and bus free-time mutation happen
+    // synchronously inside TimingMemory::access at the issue tick.
+    la.crossCoreTicks = 0;
+    return la;
+}
+
+// The response path is a valid conservative lookahead: even an L1 hit
+// completes strictly after issue, so response events never land inside
+// the window that issued them.
+static_assert(kL1HitLatency >= 1,
+              "zero-latency L1 hits would break the PDES response "
+              "lookahead (sim/sharded_queue.h window proof)");
+static_assert(kL1HitLatency <= kL2HitLatency &&
+                  kL2HitLatency <= kCacheToCacheLatency &&
+                  kCacheToCacheLatency <= kMemoryLatency,
+              "memory hierarchy latencies are expected to be "
+              "monotone; minResponseTicks derivation assumes the L1 "
+              "hit is the cheapest response path");
+
+// Cross-core coupling is same-tick: if this ever becomes >= 1 (e.g. a
+// pipelined bus model that defers invalidations by a cycle), core
+// events themselves become shardable and simulation.cpp's
+// single-coordinator layout should be revisited.
+static_assert(Lookahead{}.crossCoreTicks == 0,
+              "default Lookahead must document zero cross-core "
+              "lookahead");
+
+} // namespace cord
+
+#endif // CORD_MEM_LOOKAHEAD_H

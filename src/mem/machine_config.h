@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "mem/geometry.h"
+#include "mem/lookahead.h"
 #include "sim/types.h"
 
 namespace cord
@@ -41,10 +42,10 @@ struct MachineConfig
     CoherenceKind coherence = CoherenceKind::Snooping;
 
     /** Directory lookup latency (Directory mode only). */
-    Tick directoryLatency = 16;
+    Tick directoryLatency = kDirectoryLatency;
 
     /** Three-hop forward latency owner->requester (Directory mode). */
-    Tick forwardLatency = 30;
+    Tick forwardLatency = kForwardLatency;
 
     CacheGeometry l1 = CacheGeometry::paperL1();
     CacheGeometry l2 = CacheGeometry::paperL2();
@@ -52,38 +53,39 @@ struct MachineConfig
     /** Core issue width: compute blocks retire this many instrs/cycle. */
     unsigned issueWidth = 4;
 
-    /** L1 hit latency (processor cycles). */
-    Tick l1HitLatency = 1;
+    /** L1 hit latency (processor cycles).  kL1HitLatency >= 1 is the
+     *  PDES response-lookahead floor (mem/lookahead.h). */
+    Tick l1HitLatency = kL1HitLatency;
 
     /** Private L2 hit latency. */
-    Tick l2HitLatency = 8;
+    Tick l2HitLatency = kL2HitLatency;
 
     /** L2-to-L2 cache-to-cache round trip (paper: 20 cycles). */
-    Tick cacheToCacheLatency = 20;
+    Tick cacheToCacheLatency = kCacheToCacheLatency;
 
     /** Main memory round trip (paper: 600 processor cycles). */
-    Tick memoryLatency = 600;
+    Tick memoryLatency = kMemoryLatency;
 
     /**
      * Address/timestamp bus occupancy per transaction: one bus cycle at
      * half the 1 GHz data bus frequency = 8 processor cycles at 4 GHz.
      */
-    Tick addrBusOccupancy = 8;
+    Tick addrBusOccupancy = kAddrBusOccupancy;
 
     /**
      * Data bus occupancy per 64-byte line: four 128-bit beats at 1 GHz
      * = 16 processor cycles.
      */
-    Tick dataBusOccupancy = 16;
+    Tick dataBusOccupancy = kDataBusOccupancy;
 
     /**
      * Off-chip bus occupancy per line: 64 bytes over a quad-pumped
      * 64-bit 200 MHz bus ~ 80 processor cycles.
      */
-    Tick offChipBusOccupancy = 80;
+    Tick offChipBusOccupancy = kOffChipBusOccupancy;
 
     /** Latency of an ownership upgrade (S->M) bus transaction. */
-    Tick upgradeLatency = 8;
+    Tick upgradeLatency = kUpgradeLatency;
 
     /**
      * Multiplier applied to workload compute blocks.  The synthetic

@@ -26,6 +26,7 @@ constexpr DomainInfo kDomains[kProfDomains] = {
     {"cord_history", "cordHistory"},
     {"vc_baseline", "vcBaseline"},
     {"analysis", "analysis"},
+    {"pdes_barrier", "pdesBarrier"},
 };
 
 } // namespace

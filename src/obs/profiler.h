@@ -54,11 +54,13 @@ enum class ProfDomain : std::uint8_t
     CordHistory,    //!< CORD history displacement / walker folds
     VcBaseline,     //!< vector-clock baseline detector
     Analysis,       //!< offline analysis passes (lint, predict)
+    PdesBarrier,    //!< parallel-sim window-sync idle + handoff
+                    //!< (sim/sharded_queue, cpu/detector_lane)
 };
 
 /** Number of distinct attribution domains. */
 constexpr unsigned kProfDomains =
-    static_cast<unsigned>(ProfDomain::Analysis) + 1;
+    static_cast<unsigned>(ProfDomain::PdesBarrier) + 1;
 
 /** Stable lowercase name of @p d ("kernel_dispatch", ...). */
 const char *profDomainName(ProfDomain d);

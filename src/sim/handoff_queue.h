@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bounded cross-thread handoff queue for PDES lanes.
+ *
+ * The parallel-simulation machinery (sim/sharded_queue.h windows,
+ * cpu/detector_lane.h detector offload) moves work between host
+ * threads in *batches*: a producer accumulates records locally and
+ * hands whole vectors across the thread boundary, so the shared lock
+ * is touched once per batch instead of once per record.  The queue is
+ * bounded by a total-record budget -- a producer that outruns its
+ * consumer blocks (backpressure) rather than growing without limit,
+ * and both sides report how long they actually waited so the
+ * `pdes.barrier` profiler domain (obs/profiler.h) can attribute
+ * window-sync idle time honestly.
+ *
+ * Concurrency contract: any number of producers (each call fully
+ * serialized by the internal mutex), one consumer.  close() marks the
+ * end of the stream; popBatch() then drains what remains and returns
+ * false.  Determinism: the consumer observes batches in push order, so
+ * a single-producer stream is replayed in exactly the order it was
+ * produced -- the property every byte-identity proof in
+ * tests/pdes_test.cpp and tests/determinism_golden_test.cpp leans on.
+ */
+
+#ifndef CORD_SIM_HANDOFF_QUEUE_H
+#define CORD_SIM_HANDOFF_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace cord
+{
+
+template <typename T>
+class HandoffQueue
+{
+  public:
+    /** @param maxRecords total records buffered across all queued
+     *  batches before producers block (backpressure bound). */
+    explicit HandoffQueue(std::size_t maxRecords = std::size_t{1} << 16)
+        : maxRecords_(maxRecords ? maxRecords : 1)
+    {
+    }
+
+    HandoffQueue(const HandoffQueue &) = delete;
+    HandoffQueue &operator=(const HandoffQueue &) = delete;
+
+    /**
+     * Hand one batch to the consumer (the vector is moved; empty
+     * batches are dropped).  Blocks while the record budget is
+     * exhausted.
+     * @return nanoseconds this call spent blocked (0 = no wait)
+     */
+    std::uint64_t
+    pushBatch(std::vector<T> &&batch)
+    {
+        if (batch.empty())
+            return 0;
+        std::uint64_t waitedNs = 0;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cord_assert(!closed_, "pushBatch after close");
+            if (queuedRecords_ + batch.size() > maxRecords_ &&
+                queuedRecords_ > 0) {
+                const auto t0 = std::chrono::steady_clock::now();
+                notFull_.wait(lock, [&] {
+                    return queuedRecords_ == 0 ||
+                           queuedRecords_ + batch.size() <= maxRecords_;
+                });
+                waitedNs = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+            }
+            queuedRecords_ += batch.size();
+            ++batches_;
+            records_ += batch.size();
+            q_.push_back(std::move(batch));
+        }
+        notEmpty_.notify_one();
+        return waitedNs;
+    }
+
+    /** No more batches will be pushed; wakes a waiting consumer. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+    }
+
+    /**
+     * Take the next batch (consumer side).  Blocks until a batch is
+     * available or the queue is closed and drained.
+     * @param out receives the batch (overwritten)
+     * @param idleNs when non-null, incremented by the nanoseconds this
+     *        call spent waiting for work
+     * @return false when the stream ended (closed and fully drained)
+     */
+    bool
+    popBatch(std::vector<T> &out, std::uint64_t *idleNs = nullptr)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        if (q_.empty() && !closed_) {
+            const auto t0 = std::chrono::steady_clock::now();
+            notEmpty_.wait(lock, [&] { return !q_.empty() || closed_; });
+            if (idleNs)
+                *idleNs += static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+        }
+        if (q_.empty())
+            return false; // closed and drained
+        out = std::move(q_.front());
+        q_.pop_front();
+        cord_assert(queuedRecords_ >= out.size(),
+                    "handoff record accounting underflow");
+        queuedRecords_ -= out.size();
+        lock.unlock();
+        notFull_.notify_all();
+        return true;
+    }
+
+    /** Batches pushed so far (producer-side bookkeeping). */
+    std::uint64_t batches() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return batches_;
+    }
+
+    /** Records pushed so far. */
+    std::uint64_t records() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return records_;
+    }
+
+  private:
+    mutable std::mutex m_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<std::vector<T>> q_;
+    std::size_t maxRecords_;
+    std::size_t queuedRecords_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t records_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace cord
+
+#endif // CORD_SIM_HANDOFF_QUEUE_H

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Conservative parallel discrete-event kernel: the pooled intrusive
+ * heap of sim/event_queue.h sharded across host worker threads.
+ *
+ * ## Model
+ *
+ * Events are partitioned into S *shards* (simulated cores, directory
+ * slices, memory banks -- a ShardPlan maps components to shards).
+ * Each shard owns an independent EventQueue lane with its own clock,
+ * (priority, insertion-order) tie-breaking, and callback arena.  Two
+ * scheduling paths exist:
+ *
+ *  - schedule(shard, when, cb, pri): a shard-local event.  Only legal
+ *    from outside run() or from a callback executing *on that shard*.
+ *  - post(from, to, when, cb, pri): a cross-shard event.  The
+ *    conservative-PDES contract requires `when >= now(from) +
+ *    lookahead` -- the minimum cross-shard latency of the simulated
+ *    machine (mem/lookahead.h derives it from the bus/MESI timing
+ *    constants).
+ *
+ * ## Window scheduler
+ *
+ * run() repeats three phases until every lane drains:
+ *
+ *  1. **Floor.** T = min over lanes of the next pending tick.
+ *  2. **Parallel drain.** Every lane independently executes its
+ *     events with tick < H, where H = T + max(1, lookahead), on the
+ *     worker pool.  This is safe by the classic CMB argument: a
+ *     cross-shard event posted during this window by a callback
+ *     running at tick t >= T must land at t + lookahead >= H, so no
+ *     lane can receive work inside the window it is draining.
+ *  3. **Merge.** Each lane's outbox of posted events is handed off
+ *     and delivered into the destination lanes in deterministic
+ *     (tick, priority, source shard, source sequence) order, so the
+ *     destination lane's insertion-order tie-break -- and therefore
+ *     every observable byte of the simulation -- is independent of
+ *     how the host threads interleaved.
+ *
+ * Worker count is a pure host-side choice: results are bit-identical
+ * for any `workers` (asserted in tests/pdes_test.cpp, TSan-clean in
+ * CI).  With workers == 1 no threads are spawned and the drain runs
+ * inline, which is the reference the parallel path is proven against.
+ *
+ * ## Why the CMP engine's core events stay on one lane
+ *
+ * This kernel parallelizes any model whose cross-shard lookahead is
+ * >= 1 tick.  The CORD machine model is not one of them: a committed
+ * write invalidates remote L2 copies and updates the shared bus
+ * free-time *at the issue tick* (mem/timing_mem.cpp), i.e. its
+ * cross-core lookahead is zero (static-asserted in mem/lookahead.h).
+ * cpu/simulation.cpp therefore keeps core/memory events on the
+ * coordinating lane and applies the lane machinery where the lookahead
+ * is unbounded instead: the committed-access stream consumed by
+ * pure-observer detectors (cpu/detector_lane.h).  The derivation and
+ * the measured consequences live in docs/PERFORMANCE.md §6.
+ */
+
+#ifndef CORD_SIM_SHARDED_QUEUE_H
+#define CORD_SIM_SHARDED_QUEUE_H
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace cord
+{
+
+/**
+ * Deterministic mapping of simulated components to shards.
+ *
+ * Cores are split into contiguous blocks (threads sharing a core stay
+ * together; on directory machines the block partition also keeps
+ * cores that hit the same memory-timestamp banks adjacent, since both
+ * are line-interleaved by the same geometry).  The effective shard
+ * count is clamped to the core count -- a 4-core machine cannot
+ * occupy more than 4 core shards -- and the clamp is output-invariant:
+ * shard assignment only ever changes *host* execution, never simulated
+ * results.
+ */
+struct ShardPlan
+{
+    unsigned shards = 1;                  //!< effective shard count
+    std::vector<std::uint32_t> coreShard; //!< core -> shard
+
+    unsigned
+    shardOfCore(CoreId core) const
+    {
+        cord_assert(core < coreShard.size(), "shard plan: bad core ",
+                    core);
+        return coreShard[core];
+    }
+
+    /**
+     * @param numCores simulated cores
+     * @param memTsBanks memory-timestamp banks
+     *        (CordConfig::forMachine geometry; 1 under snooping)
+     * @param requested --sim-shards request (>= 1)
+     */
+    static ShardPlan
+    forGeometry(unsigned numCores, unsigned memTsBanks,
+                unsigned requested)
+    {
+        cord_assert(numCores > 0, "shard plan: need at least one core");
+        ShardPlan p;
+        p.shards = std::max(1u, std::min(requested, numCores));
+        // Directory machines: do not split a bank group across shards
+        // unless there are more shards than banks.
+        if (memTsBanks > 1 && p.shards > 1 && p.shards < memTsBanks &&
+            memTsBanks % p.shards != 0)
+            while (p.shards > 1 && memTsBanks % p.shards != 0)
+                --p.shards;
+        p.coreShard.resize(numCores);
+        for (unsigned c = 0; c < numCores; ++c)
+            p.coreShard[c] = static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(c) * p.shards) / numCores);
+        return p;
+    }
+};
+
+/** Sharded event kernel with a conservative window scheduler. */
+class ShardedEventQueue
+{
+  public:
+    using Callback = EventQueue::Callback;
+
+    /**
+     * @param shards number of event lanes (>= 1)
+     * @param lookahead minimum cross-shard latency in ticks; must be
+     *        >= 1 when shards > 1 (a zero-lookahead model cannot be
+     *        conservatively parallelized -- see the file comment)
+     * @param workers host threads draining windows; 0 = one per
+     *        shard, 1 = inline (no threads spawned)
+     */
+    ShardedEventQueue(unsigned shards, Tick lookahead,
+                      unsigned workers = 0)
+        : lookahead_(lookahead)
+    {
+        cord_assert(shards >= 1, "need at least one shard");
+        cord_assert(shards == 1 || lookahead >= 1,
+                    "conservative PDES needs lookahead >= 1 tick");
+        lanes_.resize(shards);
+        for (auto &lane : lanes_)
+            lane = std::make_unique<EventQueue>();
+        outboxes_.resize(shards);
+        const unsigned w =
+            workers == 0 ? shards : std::min(workers, shards);
+        if (w > 1)
+            startWorkers(w - 1);
+    }
+
+    ~ShardedEventQueue() { stopWorkers(); }
+
+    ShardedEventQueue(const ShardedEventQueue &) = delete;
+    ShardedEventQueue &operator=(const ShardedEventQueue &) = delete;
+
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(lanes_.size());
+    }
+
+    /** Shard-local clock. */
+    Tick now(unsigned shard) const { return lane(shard).now(); }
+
+    /** Events executed across all lanes. */
+    std::uint64_t
+    executedEvents() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &l : lanes_)
+            n += l->executedEvents();
+        return n;
+    }
+
+    /** True when every lane has drained. */
+    bool
+    empty() const
+    {
+        for (const auto &l : lanes_)
+            if (!l->empty())
+                return false;
+        return true;
+    }
+
+    /** Schedule a shard-local event (same contract as
+     *  EventQueue::schedule, per lane). */
+    template <typename Fn>
+    void
+    schedule(unsigned shard, Tick when, Fn &&fn,
+             int pri = EventQueue::kPriDefault)
+    {
+        lane(shard).schedule(when, std::forward<Fn>(fn), pri);
+    }
+
+    /**
+     * Post a cross-shard event.  Must respect the lookahead contract:
+     * @p when >= now(from) + lookahead.  Delivery happens at the next
+     * window boundary, merged in (tick, priority, source shard,
+     * source seq) order.  Only legal from a callback executing on
+     * shard @p from (or from outside run() entirely).
+     */
+    template <typename Fn>
+    void
+    post(unsigned from, unsigned to, Tick when, Fn &&fn,
+         int pri = EventQueue::kPriDefault)
+    {
+        cord_assert(to < lanes_.size(), "post: bad destination shard ",
+                    to);
+        if (from == to) {
+            lane(from).schedule(when, std::forward<Fn>(fn), pri);
+            return;
+        }
+        cord_assert(when >= lane(from).now() + lookahead_,
+                    "post violates the lookahead contract: ", when,
+                    " < ", lane(from).now(), " + ", lookahead_);
+        Outbox &ob = outboxes_[from];
+        ob.recs.push_back(PostRec{when, pri, to, ob.nextSeq++,
+                                  Callback(std::forward<Fn>(fn))});
+    }
+
+    /** Host-side window statistics (volatile; never part of simulated
+     *  results). */
+    struct WindowStats
+    {
+        std::uint64_t windows = 0;   //!< synchronization windows run
+        std::uint64_t handoffs = 0;  //!< cross-shard events delivered
+        std::uint64_t barrierNs = 0; //!< coordinator wait at barriers
+    };
+
+    const WindowStats &windowStats() const { return stats_; }
+
+    /**
+     * Run the window scheduler until every lane drains or the floor
+     * passes @p maxTicks.
+     * @return events executed by this call
+     */
+    std::uint64_t
+    run(Tick maxTicks = kMaxTick)
+    {
+        const std::uint64_t before = executedEvents();
+        for (;;) {
+            Tick floor = kMaxTick;
+            for (const auto &l : lanes_)
+                floor = std::min(floor, l->nextTick());
+            if (floor == kMaxTick || floor > maxTicks)
+                break;
+            const Tick horizon =
+                floor + std::max<Tick>(1, lookahead_);
+            drainWindow(horizon);
+            mergeOutboxes();
+            ++stats_.windows;
+        }
+        return executedEvents() - before;
+    }
+
+  private:
+    struct PostRec
+    {
+        Tick when;
+        int pri;
+        std::uint32_t to;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Outbox
+    {
+        std::vector<PostRec> recs;
+        std::uint64_t nextSeq = 0;
+    };
+
+    EventQueue &
+    lane(unsigned shard)
+    {
+        cord_assert(shard < lanes_.size(), "bad shard ", shard);
+        return *lanes_[shard];
+    }
+
+    const EventQueue &
+    lane(unsigned shard) const
+    {
+        cord_assert(shard < lanes_.size(), "bad shard ", shard);
+        return *lanes_[shard];
+    }
+
+    /** Execute every lane's events strictly before @p horizon, on the
+     *  worker pool when one exists. */
+    void
+    drainWindow(Tick horizon)
+    {
+        if (workers_.empty()) {
+            for (auto &l : lanes_)
+                l->runWhileBefore(horizon);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            horizon_ = horizon;
+            nextShard_.store(0, std::memory_order_relaxed);
+            remaining_ = static_cast<unsigned>(lanes_.size());
+            ++generation_;
+        }
+        poolStart_.notify_all();
+        drainShards(horizon); // the coordinator pulls its weight too
+        std::unique_lock<std::mutex> lock(poolMutex_);
+        if (remaining_ != 0) {
+            const auto t0 = std::chrono::steady_clock::now();
+            poolDone_.wait(lock, [&] { return remaining_ == 0; });
+            stats_.barrierNs += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        }
+    }
+
+    /** Claim-and-drain loop shared by the coordinator and workers. */
+    void
+    drainShards(Tick horizon)
+    {
+        for (;;) {
+            const unsigned s =
+                nextShard_.fetch_add(1, std::memory_order_relaxed);
+            if (s >= lanes_.size())
+                return;
+            lanes_[s]->runWhileBefore(horizon);
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            if (--remaining_ == 0)
+                poolDone_.notify_all();
+        }
+    }
+
+    /** Deliver posted events in deterministic merge order. */
+    void
+    mergeOutboxes()
+    {
+        merge_.clear();
+        for (unsigned s = 0; s < outboxes_.size(); ++s) {
+            for (PostRec &r : outboxes_[s].recs)
+                merge_.push_back(MergeRef{r.when, r.pri, s, r.seq, &r});
+        }
+        if (merge_.empty())
+            return;
+        std::sort(merge_.begin(), merge_.end(),
+                  [](const MergeRef &a, const MergeRef &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.pri != b.pri)
+                          return a.pri < b.pri;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        for (const MergeRef &m : merge_) {
+            lane(m.rec->to).schedule(m.rec->when, std::move(m.rec->cb),
+                                     m.rec->pri);
+            ++stats_.handoffs;
+        }
+        for (auto &ob : outboxes_)
+            ob.recs.clear();
+    }
+
+    void
+    startWorkers(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            workers_.emplace_back([this] {
+                std::uint64_t seen = 0;
+                for (;;) {
+                    Tick horizon;
+                    {
+                        std::unique_lock<std::mutex> lock(poolMutex_);
+                        poolStart_.wait(lock, [&] {
+                            return shutdown_ || generation_ != seen;
+                        });
+                        if (shutdown_)
+                            return;
+                        seen = generation_;
+                        horizon = horizon_;
+                    }
+                    drainShards(horizon);
+                }
+            });
+        }
+    }
+
+    void
+    stopWorkers()
+    {
+        if (workers_.empty())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            shutdown_ = true;
+        }
+        poolStart_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+        workers_.clear();
+    }
+
+    struct MergeRef
+    {
+        Tick when;
+        int pri;
+        unsigned src;
+        std::uint64_t seq;
+        PostRec *rec;
+    };
+
+    Tick lookahead_;
+    // unique_ptr: EventQueue is non-movable and workers hold lane
+    // pointers across windows, so element addresses must be stable.
+    std::vector<std::unique_ptr<EventQueue>> lanes_;
+    std::vector<Outbox> outboxes_;
+    std::vector<MergeRef> merge_;
+    WindowStats stats_;
+
+    std::vector<std::thread> workers_;
+    std::mutex poolMutex_;
+    std::condition_variable poolStart_;
+    std::condition_variable poolDone_;
+    std::atomic<unsigned> nextShard_{0};
+    unsigned remaining_ = 0;
+    Tick horizon_ = 0;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace cord
+
+#endif // CORD_SIM_SHARDED_QUEUE_H

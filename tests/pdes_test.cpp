@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Tests for the parallel-simulation machinery (PR 10): the bounded
+ * batch handoff queue, the shard plan, the conservative sharded event
+ * kernel, the detector lanes, and the `--sim-shards` flag helpers.
+ *
+ * The load-bearing property throughout is *byte identity*: every
+ * observable result -- execution orders, detector state, race reports,
+ * order-log wire bytes -- must be bit-equal for any shard/worker
+ * count, with the sequential path as the reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cord/cord_detector.h"
+#include "cord/ideal_detector.h"
+#include "cord/log_codec.h"
+#include "cpu/detector_lane.h"
+#include "harness/exec.h"
+#include "harness/experiments.h"
+#include "harness/runner.h"
+#include "sim/handoff_queue.h"
+#include "sim/sharded_queue.h"
+
+namespace cord
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// HandoffQueue
+// ---------------------------------------------------------------------
+
+TEST(HandoffQueue, ConsumerSeesBatchesInPushOrder)
+{
+    HandoffQueue<int> q;
+    std::vector<int> got;
+    std::thread consumer([&] {
+        std::vector<int> batch;
+        while (q.popBatch(batch))
+            got.insert(got.end(), batch.begin(), batch.end());
+    });
+    std::vector<int> expect;
+    for (int b = 0; b < 100; ++b) {
+        std::vector<int> batch;
+        for (int i = 0; i < 17; ++i)
+            batch.push_back(b * 17 + i);
+        expect.insert(expect.end(), batch.begin(), batch.end());
+        q.pushBatch(std::move(batch));
+    }
+    q.close();
+    consumer.join();
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(q.batches(), 100u);
+    EXPECT_EQ(q.records(), 1700u);
+}
+
+TEST(HandoffQueue, EmptyBatchesAreDropped)
+{
+    HandoffQueue<int> q;
+    EXPECT_EQ(q.pushBatch({}), 0u);
+    q.close();
+    std::vector<int> batch;
+    EXPECT_FALSE(q.popBatch(batch));
+    EXPECT_EQ(q.batches(), 0u);
+}
+
+TEST(HandoffQueue, BackpressureBlocksProducerUntilConsumerDrains)
+{
+    // Budget of 8 records; batches of 8.  The second push must wait
+    // until the consumer takes the first batch.
+    HandoffQueue<int> q(/*maxRecords=*/8);
+    std::uint64_t waitedNs = 0;
+    std::thread producer([&] {
+        for (int b = 0; b < 20; ++b) {
+            std::vector<int> batch(8, b);
+            waitedNs += q.pushBatch(std::move(batch));
+        }
+        q.close();
+    });
+    std::vector<int> batch;
+    std::uint64_t idleNs = 0;
+    std::uint64_t seen = 0;
+    while (q.popBatch(batch, &idleNs))
+        seen += batch.size();
+    producer.join();
+    EXPECT_EQ(seen, 160u);
+    // The producer outran the consumer at least once (20 batches
+    // against a one-batch budget), so some stall was recorded.
+    EXPECT_GT(waitedNs, 0u);
+}
+
+TEST(HandoffQueue, OversizedBatchStillPassesWhenQueueEmpty)
+{
+    // A batch larger than the whole budget must not deadlock: the
+    // predicate admits it once the queue is empty.
+    HandoffQueue<int> q(/*maxRecords=*/4);
+    std::vector<int> big(64, 7);
+    q.pushBatch(std::move(big));
+    q.close();
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch));
+    EXPECT_EQ(batch.size(), 64u);
+    EXPECT_FALSE(q.popBatch(batch));
+}
+
+// ---------------------------------------------------------------------
+// ShardPlan
+// ---------------------------------------------------------------------
+
+TEST(ShardPlan, ClampsToCoreCountAndPartitionsContiguously)
+{
+    const ShardPlan p = ShardPlan::forGeometry(/*numCores=*/4,
+                                               /*memTsBanks=*/1,
+                                               /*requested=*/16);
+    EXPECT_EQ(p.shards, 4u);
+    ASSERT_EQ(p.coreShard.size(), 4u);
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(p.shardOfCore(c), c);
+}
+
+TEST(ShardPlan, ContiguousBlocksCoverEveryShard)
+{
+    const ShardPlan p = ShardPlan::forGeometry(16, 1, 3);
+    EXPECT_EQ(p.shards, 3u);
+    // Non-decreasing, starts at 0, ends at shards-1: contiguous blocks.
+    EXPECT_EQ(p.coreShard.front(), 0u);
+    EXPECT_EQ(p.coreShard.back(), p.shards - 1);
+    for (unsigned c = 1; c < 16; ++c) {
+        EXPECT_GE(p.coreShard[c], p.coreShard[c - 1]);
+        EXPECT_LE(p.coreShard[c] - p.coreShard[c - 1], 1u);
+    }
+}
+
+TEST(ShardPlan, KeepsDirectoryBankGroupsAligned)
+{
+    // 8 banks, 3 shards requested: 8 % 3 != 0 would split a bank
+    // group, so the plan shrinks to 2.
+    const ShardPlan p = ShardPlan::forGeometry(16, /*memTsBanks=*/8,
+                                               /*requested=*/3);
+    EXPECT_EQ(p.shards, 2u);
+    // More shards than banks: no shrink needed (groups nest).
+    EXPECT_EQ(ShardPlan::forGeometry(16, 8, 16).shards, 16u);
+    // Exact divisor passes through.
+    EXPECT_EQ(ShardPlan::forGeometry(16, 8, 4).shards, 4u);
+}
+
+TEST(ShardPlan, RequestOfZeroOrOneIsSequential)
+{
+    EXPECT_EQ(ShardPlan::forGeometry(4, 1, 0).shards, 1u);
+    EXPECT_EQ(ShardPlan::forGeometry(4, 1, 1).shards, 1u);
+}
+
+// ---------------------------------------------------------------------
+// ShardedEventQueue
+// ---------------------------------------------------------------------
+
+/** One deterministic ping workload: each shard runs a chain of events
+ *  and posts to its right neighbour with the contract-minimum
+ *  lookahead.  Logs are per-shard (single-writer -- a lane's events
+ *  run sequentially), so the comparison is data-race-free. */
+struct PingHarness
+{
+    struct Entry
+    {
+        Tick tick;
+        int id;
+        bool operator==(const Entry &o) const
+        {
+            return tick == o.tick && id == o.id;
+        }
+    };
+
+    static std::vector<std::vector<Entry>>
+    run(unsigned shards, Tick lookahead, unsigned workers,
+        std::uint64_t *executed = nullptr,
+        ShardedEventQueue::WindowStats *stats = nullptr)
+    {
+        ShardedEventQueue q(shards, lookahead, workers);
+        std::vector<std::vector<Entry>> log(shards);
+
+        // Chain: a primary event (id < 1000) on shard s at tick t
+        // logs, continues its local chain at t+2, and posts one
+        // one-shot echo (id+1000) to (s+1)%shards at t+lookahead.
+        // Echoes only log -- the population stays linear in kLimit.
+        constexpr Tick kLimit = 200;
+        struct Chain
+        {
+            ShardedEventQueue *q;
+            std::vector<std::vector<Entry>> *log;
+            unsigned shards;
+            Tick lookahead;
+
+            void
+            fire(unsigned s, int id) const
+            {
+                const Tick t = q->now(s);
+                (*log)[s].push_back({t, id});
+                if (id >= 1000)
+                    return; // echo: log only
+                if (t + 2 <= kLimit)
+                    q->schedule(s, t + 2,
+                                [this, s, id] { fire(s, id + 1); });
+                if (t + lookahead <= kLimit) {
+                    const unsigned to = (s + 1) % shards;
+                    q->post(s, to, t + lookahead,
+                            [this, to, id] { fire(to, id + 1000); });
+                }
+            }
+        };
+        Chain chain{&q, &log, shards, lookahead};
+        for (unsigned s = 0; s < shards; ++s)
+            q.schedule(s, s + 1, [&chain, s] { chain.fire(s, 0); });
+        const std::uint64_t n = q.run();
+        if (executed)
+            *executed = n;
+        if (stats)
+            *stats = q.windowStats();
+        EXPECT_TRUE(q.empty());
+        return log;
+    }
+};
+
+TEST(ShardedEventQueue, ResultsAreIdenticalForAnyWorkerCount)
+{
+    // workers=1 is the inline reference (no threads spawned); 2 and 0
+    // (one per shard) exercise the pool.  Identical per-shard logs for
+    // every worker count is the PDES determinism claim.
+    std::uint64_t nRef = 0;
+    const auto ref = PingHarness::run(4, 3, /*workers=*/1, &nRef);
+    for (unsigned workers : {2u, 0u}) {
+        std::uint64_t n = 0;
+        const auto got = PingHarness::run(4, 3, workers, &n);
+        EXPECT_EQ(got, ref) << "workers=" << workers;
+        EXPECT_EQ(n, nRef) << "workers=" << workers;
+    }
+}
+
+TEST(ShardedEventQueue, SingleShardMatchesPlainEventQueue)
+{
+    std::uint64_t nSharded = 0;
+    const auto sharded = PingHarness::run(1, 1, 1, &nSharded);
+
+    // The same chain on a bare EventQueue (same-shard post degrades
+    // to a local schedule, so this is the exact event population).
+    EventQueue q;
+    std::vector<PingHarness::Entry> log;
+    struct Chain
+    {
+        EventQueue *q;
+        std::vector<PingHarness::Entry> *log;
+        void
+        fire(int id) const
+        {
+            const Tick t = q->now();
+            log->push_back({t, id});
+            if (id >= 1000)
+                return; // echo: log only
+            if (t + 2 <= 200)
+                q->schedule(t + 2, [this, id] { fire(id + 1); });
+            if (t + 1 <= 200)
+                q->schedule(t + 1, [this, id] { fire(id + 1000); });
+        }
+    };
+    Chain chain{&q, &log};
+    q.schedule(1, [&chain] { chain.fire(0); });
+    const std::uint64_t nPlain = q.run();
+    EXPECT_EQ(sharded[0], log);
+    EXPECT_EQ(nSharded, nPlain);
+}
+
+TEST(ShardedEventQueue, MergeOrderIsDeterministicAcrossSourceShards)
+{
+    // Three shards all post to shard 0 at the same tick with the same
+    // priority: delivery (and thus insertion order) must follow source
+    // shard id, then source sequence -- independent of host timing.
+    for (unsigned workers : {1u, 0u}) {
+        ShardedEventQueue q(4, /*lookahead=*/5, workers);
+        std::vector<int> order;
+        for (unsigned s = 1; s < 4; ++s)
+            q.schedule(s, 1, [&q, &order, s] {
+                // Two posts per source, same destination tick.
+                q.post(s, 0, 10, [&order, s] {
+                    order.push_back(static_cast<int>(s) * 10);
+                });
+                q.post(s, 0, 10, [&order, s] {
+                    order.push_back(static_cast<int>(s) * 10 + 1);
+                });
+            });
+        q.run();
+        // order is written only by shard 0's lane.
+        EXPECT_EQ(order,
+                  (std::vector<int>{10, 11, 20, 21, 30, 31}))
+            << "workers=" << workers;
+    }
+}
+
+TEST(ShardedEventQueue, SameShardPostDegradesToLocalSchedule)
+{
+    ShardedEventQueue q(2, /*lookahead=*/4, /*workers=*/1);
+    bool ran = false;
+    q.schedule(0, 1, [&] {
+        // Below the cross-shard lookahead, but same-shard: legal.
+        q.post(0, 0, 2, [&] { ran = true; });
+    });
+    q.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.windowStats().handoffs, 0u);
+}
+
+TEST(ShardedEventQueue, MaxTicksStopsAtTheWindowFloor)
+{
+    ShardedEventQueue q(2, 1, 1);
+    bool late = false;
+    q.schedule(0, 100, [&] { late = true; });
+    const std::uint64_t n = q.run(/*maxTicks=*/50);
+    EXPECT_EQ(n, 0u);
+    EXPECT_FALSE(late);
+    EXPECT_FALSE(q.empty());
+    // Resuming without the bound drains it.
+    q.run();
+    EXPECT_TRUE(late);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedEventQueue, CountsWindowsAndHandoffs)
+{
+    ShardedEventQueue::WindowStats stats;
+    PingHarness::run(4, 3, 1, nullptr, &stats);
+    EXPECT_GT(stats.windows, 0u);
+    EXPECT_GT(stats.handoffs, 0u);
+}
+
+TEST(ShardedEventQueueDeath, LookaheadContractIsAsserted)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // A zero-lookahead model cannot be conservatively parallelized.
+    EXPECT_DEATH(ShardedEventQueue(2, 0, 1), "lookahead");
+    // A cross-shard post below now+lookahead violates the contract.
+    EXPECT_DEATH(
+        {
+            ShardedEventQueue q(2, 5, 1);
+            q.schedule(0, 10, [&q] { q.post(0, 1, 12, [] {}); });
+            q.run();
+        },
+        "lookahead");
+}
+
+// ---------------------------------------------------------------------
+// Flag helpers (harness/exec.h)
+// ---------------------------------------------------------------------
+
+TEST(SimShardsFlags, ResolveAndDefault)
+{
+    EXPECT_EQ(resolveSimShards(5), 5u);
+    EXPECT_GE(resolveSimShards(0), 1u); // 0 = hardware threads
+    EXPECT_GE(defaultSimShards(), 1u);
+}
+
+TEST(SimShardsFlags, ComboValidationTable)
+{
+    struct Case
+    {
+        unsigned shards;
+        bool trace;
+        bool profile;
+        const char *needle; //!< nullptr = combination is valid
+    };
+    const Case cases[] = {
+        {1, false, false, nullptr},
+        {1, true, true, nullptr}, // sequential: everything composes
+        {2, false, false, nullptr},
+        {8, false, false, nullptr},
+        {2, true, false, "--trace"},
+        {8, false, true, "--profile"},
+        {2, true, true, "--trace"}, // trace reported first
+    };
+    for (const Case &c : cases) {
+        const char *err =
+            simShardsComboError(c.shards, c.trace, c.profile);
+        if (!c.needle) {
+            EXPECT_EQ(err, nullptr)
+                << "shards=" << c.shards << " trace=" << c.trace
+                << " profile=" << c.profile;
+        } else {
+            ASSERT_NE(err, nullptr) << "shards=" << c.shards;
+            EXPECT_NE(std::strstr(err, c.needle), nullptr) << err;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DetectorLane
+// ---------------------------------------------------------------------
+
+/** Pure observer that records the exact stream it saw. */
+class RecordingDetector : public Detector
+{
+  public:
+    RecordingDetector() : Detector("recording") {}
+
+    void
+    onAccess(const MemEvent &ev) override
+    {
+        accesses.push_back(ev);
+    }
+
+    void
+    onThreadEnd(ThreadId tid, std::uint64_t totalInstrs) override
+    {
+        ends.push_back({tid, totalInstrs});
+    }
+
+    void finish() override { finished = true; }
+
+    std::vector<MemEvent> accesses;
+    std::vector<std::pair<ThreadId, std::uint64_t>> ends;
+    bool finished = false;
+};
+
+bool
+sameEvent(const MemEvent &a, const MemEvent &b)
+{
+    return a.tick == b.tick && a.tid == b.tid && a.core == b.core &&
+           a.addr == b.addr && a.kind == b.kind &&
+           a.instrCount == b.instrCount && a.value == b.value;
+}
+
+TEST(DetectorLane, ReplaysTheExactPublishedStream)
+{
+    RecordingDetector inlineDet;
+    RecordingDetector laneDet1, laneDet2;
+    DetectorLane lane({&laneDet1, &laneDet2});
+
+    std::vector<MemEvent> published;
+    for (unsigned i = 0; i < 5000; ++i) {
+        MemEvent ev;
+        ev.tick = i;
+        ev.tid = static_cast<ThreadId>(i % 4);
+        ev.addr = 64 * (i % 7);
+        ev.kind = (i % 3) ? AccessKind::DataRead : AccessKind::DataWrite;
+        ev.instrCount = i;
+        ev.value = i * 3;
+        published.push_back(ev);
+        inlineDet.onAccess(ev);
+        lane.onAccess(ev);
+        if (i % 1000 == 999) {
+            inlineDet.onThreadEnd(ev.tid, ev.instrCount);
+            lane.onThreadEnd(ev.tid, ev.instrCount);
+        }
+    }
+    lane.join();
+
+    for (const RecordingDetector *d : {&laneDet1, &laneDet2}) {
+        ASSERT_EQ(d->accesses.size(), published.size());
+        for (std::size_t i = 0; i < published.size(); ++i)
+            EXPECT_TRUE(sameEvent(d->accesses[i], published[i]))
+                << "index " << i;
+        EXPECT_EQ(d->ends, inlineDet.ends);
+        // finish() is the caller's job (after join), mirroring the
+        // sequential path: the lane must not have called it.
+        EXPECT_FALSE(d->finished);
+    }
+    EXPECT_EQ(lane.stats().records, 5005u);
+    EXPECT_GT(lane.stats().batches, 0u);
+}
+
+/** Sink that swallows CORD's timing traffic (binding it is enough to
+ *  make the detector timing-coupled). */
+class NullTrafficSink : public CordTrafficSink
+{
+  public:
+    void raceCheck(Tick, Addr, unsigned, std::uint64_t) override {}
+    void memTsBroadcast(Tick, FoldCause, Addr) override {}
+};
+
+TEST(DetectorLaneDeath, RejectsNonPureObservers)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            CordConfig cc;
+            cc.numCores = 4;
+            cc.numThreads = 4;
+            CordDetector cord(cc);
+            NullTrafficSink sink;
+            cord.setTrafficSink(&sink);
+            DetectorLane lane({&cord});
+        },
+        "pure");
+}
+
+// ---------------------------------------------------------------------
+// End to end: multi-detector runs are byte-identical across shards
+// ---------------------------------------------------------------------
+
+struct EndToEnd
+{
+    std::vector<std::uint8_t> orderLog;
+    std::uint64_t idealPairs = 0;
+    std::uint64_t cordPairs = 0;
+    std::uint64_t signature = 0;
+    Tick ticks = 0;
+    std::vector<std::uint64_t> checksums;
+    unsigned lanesUsed = 0;
+};
+
+EndToEnd
+runEndToEnd(const std::string &workload, unsigned simShards)
+{
+    RunSetup setup;
+    setup.workload = workload;
+    setup.params.numThreads = 4;
+    setup.params.scale = 1;
+    setup.params.seed = 7;
+    setup.simShards = simShards;
+
+    CordConfig cc = CordConfig::forMachine(setup.machine, 4);
+    CordDetector cord(cc);
+    IdealDetector ideal(4);
+    setup.detectors = {&cord, &ideal};
+
+    const RunOutcome out = runWorkload(setup);
+    EXPECT_TRUE(out.completed);
+
+    EndToEnd r;
+    r.orderLog = encodeOrderLog(cord.orderLog());
+    r.idealPairs = ideal.races().pairs();
+    r.cordPairs = cord.races().pairs();
+    r.signature = out.interleavingSignature;
+    r.ticks = out.ticks;
+    r.checksums = out.readChecksums;
+    r.lanesUsed = out.pdes.lanes;
+    return r;
+}
+
+TEST(PdesEndToEnd, MultiDetectorRunsAreByteIdenticalAcrossShards)
+{
+    for (const char *app : {"fft", "lu"}) {
+        const EndToEnd ref = runEndToEnd(app, 1);
+        EXPECT_EQ(ref.lanesUsed, 0u);
+        ASSERT_FALSE(ref.orderLog.empty());
+        for (unsigned shards : {2u, 8u}) {
+            const EndToEnd got = runEndToEnd(app, shards);
+            EXPECT_EQ(got.orderLog, ref.orderLog)
+                << app << " shards=" << shards;
+            EXPECT_EQ(got.idealPairs, ref.idealPairs)
+                << app << " shards=" << shards;
+            EXPECT_EQ(got.cordPairs, ref.cordPairs)
+                << app << " shards=" << shards;
+            EXPECT_EQ(got.signature, ref.signature)
+                << app << " shards=" << shards;
+            EXPECT_EQ(got.ticks, ref.ticks)
+                << app << " shards=" << shards;
+            EXPECT_EQ(got.checksums, ref.checksums)
+                << app << " shards=" << shards;
+            EXPECT_GT(got.lanesUsed, 0u)
+                << app << " shards=" << shards;
+        }
+    }
+}
+
+/** A timing-coupled CORD (traffic sink bound by the runner) is not a
+ *  pure observer: it must stay inline while other detectors lane off,
+ *  and the result must still match the sequential run. */
+TEST(PdesEndToEnd, TimingCoupledCordStaysInlineAndMatches)
+{
+    auto oneRun = [](unsigned simShards) {
+        RunSetup setup;
+        setup.workload = "fft";
+        setup.params.numThreads = 4;
+        setup.params.scale = 1;
+        setup.params.seed = 7;
+        setup.simShards = simShards;
+
+        CordConfig cc = CordConfig::forMachine(setup.machine, 4);
+        CordDetector cord(cc);
+        IdealDetector ideal(4);
+        setup.detectors = {&cord, &ideal};
+        setup.timingCord = &cord; // binds the traffic sink
+
+        const RunOutcome out = runWorkload(setup);
+        EXPECT_TRUE(out.completed);
+        // While the sink was bound CORD was not a pure observer, so
+        // only Ideal can lane off: exactly one lane when sharded.
+        // (The runner unbinds the sink after the run.)
+        EXPECT_EQ(out.pdes.lanes, simShards > 1 ? 1u : 0u);
+        return std::make_pair(encodeOrderLog(cord.orderLog()),
+                              out.interleavingSignature);
+    };
+    const auto ref = oneRun(1);
+    const auto got = oneRun(4);
+    EXPECT_EQ(got.first, ref.first);
+    EXPECT_EQ(got.second, ref.second);
+}
+
+} // namespace
+} // namespace cord
