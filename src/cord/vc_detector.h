@@ -77,6 +77,9 @@ class VcDetector : public Detector
         return {cfg_.numCores, cfg_.numThreads};
     }
 
+    /** Never feeds timing back: eligible for detector-lane offload. */
+    bool pureObserver() const override { return true; }
+
     const VcConfig &config() const { return cfg_; }
 
     /** Current vector clock of @p tid. */

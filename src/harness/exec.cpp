@@ -1,9 +1,50 @@
 #include "harness/exec.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace cord
 {
+
+namespace
+{
+
+/**
+ * Parse an unsigned count from environment variable @p name.  Unset or
+ * empty yields 1 (the documented default).  A malformed value -- not a
+ * plain base-10 number, trailing garbage, or out of range -- also
+ * yields 1, with a one-line stderr diagnostic: treating a parse
+ * failure as 0 would silently mean "one per hardware thread", the
+ * opposite of the default.  ("0" itself is valid and keeps that
+ * documented meaning.)
+ */
+unsigned
+envCount(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return 1;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long n = std::strtoul(v, &end, 10);
+    // strtoul alone would accept leading whitespace and sign
+    // characters; require a plain digit string.
+    if (!std::isdigit(static_cast<unsigned char>(*v)) || end == v ||
+        *end != '\0' || errno != 0 ||
+        n > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr,
+                     "cord: ignoring malformed %s='%s' (want a "
+                     "non-negative integer); using 1\n",
+                     name, v);
+        return 1;
+    }
+    return static_cast<unsigned>(n);
+}
+
+} // namespace
 
 unsigned
 resolveJobs(unsigned requested)
@@ -17,11 +58,7 @@ resolveJobs(unsigned requested)
 unsigned
 defaultJobs()
 {
-    const char *v = std::getenv("CORD_JOBS");
-    if (!v || !*v)
-        return 1;
-    return resolveJobs(
-        static_cast<unsigned>(std::strtoul(v, nullptr, 10)));
+    return resolveJobs(envCount("CORD_JOBS"));
 }
 
 unsigned
@@ -36,11 +73,7 @@ resolveSimShards(unsigned requested)
 unsigned
 defaultSimShards()
 {
-    const char *v = std::getenv("CORD_SIM_SHARDS");
-    if (!v || !*v)
-        return 1;
-    return resolveSimShards(
-        static_cast<unsigned>(std::strtoul(v, nullptr, 10)));
+    return resolveSimShards(envCount("CORD_SIM_SHARDS"));
 }
 
 const char *

@@ -60,7 +60,6 @@
 #define CORD_SIM_SHARDED_QUEUE_H
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -241,7 +240,11 @@ class ShardedEventQueue
 
     /**
      * Run the window scheduler until every lane drains or the floor
-     * passes @p maxTicks.
+     * passes @p maxTicks.  The bound is a hard tick cap: no event with
+     * a tick beyond @p maxTicks is executed, even when the lookahead
+     * window straddling the bound would have admitted it (a shorter
+     * window is strictly more conservative, so the clamp is safe and
+     * -- being a pure function of maxTicks -- deterministic).
      * @return events executed by this call
      */
     std::uint64_t
@@ -254,8 +257,9 @@ class ShardedEventQueue
                 floor = std::min(floor, l->nextTick());
             if (floor == kMaxTick || floor > maxTicks)
                 break;
-            const Tick horizon =
-                floor + std::max<Tick>(1, lookahead_);
+            Tick horizon = floor + std::max<Tick>(1, lookahead_);
+            if (maxTicks != kMaxTick && horizon > maxTicks + 1)
+                horizon = maxTicks + 1;
             drainWindow(horizon);
             mergeOutboxes();
             ++stats_.windows;
@@ -303,15 +307,16 @@ class ShardedEventQueue
                 l->runWhileBefore(horizon);
             return;
         }
+        std::uint64_t gen;
         {
             std::lock_guard<std::mutex> lock(poolMutex_);
             horizon_ = horizon;
-            nextShard_.store(0, std::memory_order_relaxed);
+            nextShard_ = 0;
             remaining_ = static_cast<unsigned>(lanes_.size());
-            ++generation_;
+            gen = ++generation_;
         }
         poolStart_.notify_all();
-        drainShards(horizon); // the coordinator pulls its weight too
+        drainShards(horizon, gen); // the coordinator pulls its weight too
         std::unique_lock<std::mutex> lock(poolMutex_);
         if (remaining_ != 0) {
             const auto t0 = std::chrono::steady_clock::now();
@@ -323,15 +328,28 @@ class ShardedEventQueue
         }
     }
 
-    /** Claim-and-drain loop shared by the coordinator and workers. */
+    /**
+     * Claim-and-drain loop shared by the coordinator and workers.
+     * Claims are generation-checked under poolMutex_: a thread that
+     * slipped past the barrier notification of window @p gen (its
+     * final decrement woke the coordinator, which may already have
+     * opened window gen+1) sees the generation mismatch and bails
+     * instead of stealing a shard from the new window and draining it
+     * to its stale -- smaller -- horizon.  Because a claim is only
+     * ever granted for the current generation, every decrement of
+     * remaining_ below belongs to the window that set it.
+     */
     void
-    drainShards(Tick horizon)
+    drainShards(Tick horizon, std::uint64_t gen)
     {
         for (;;) {
-            const unsigned s =
-                nextShard_.fetch_add(1, std::memory_order_relaxed);
-            if (s >= lanes_.size())
-                return;
+            unsigned s;
+            {
+                std::lock_guard<std::mutex> lock(poolMutex_);
+                if (generation_ != gen || nextShard_ >= lanes_.size())
+                    return;
+                s = nextShard_++;
+            }
             lanes_[s]->runWhileBefore(horizon);
             std::lock_guard<std::mutex> lock(poolMutex_);
             if (--remaining_ == 0)
@@ -387,7 +405,7 @@ class ShardedEventQueue
                         seen = generation_;
                         horizon = horizon_;
                     }
-                    drainShards(horizon);
+                    drainShards(horizon, seen);
                 }
             });
         }
@@ -429,7 +447,10 @@ class ShardedEventQueue
     std::mutex poolMutex_;
     std::condition_variable poolStart_;
     std::condition_variable poolDone_;
-    std::atomic<unsigned> nextShard_{0};
+    // All pool state below is guarded by poolMutex_ -- including the
+    // shard claim cursor, so claims can be generation-checked
+    // atomically with the grant (see drainShards).
+    unsigned nextShard_ = 0;
     unsigned remaining_ = 0;
     Tick horizon_ = 0;
     std::uint64_t generation_ = 0;

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -328,6 +329,39 @@ TEST(ShardedEventQueue, MaxTicksStopsAtTheWindowFloor)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(ShardedEventQueue, MaxTicksIsAHardCapInsideTheLookaheadWindow)
+{
+    // With a lookahead much larger than the bound, the first window
+    // would reach floor + lookahead = 60 -- but run(30) must not
+    // execute the tick-40 event even though it sits inside that
+    // window.
+    ShardedEventQueue q(2, /*lookahead=*/50, /*workers=*/1);
+    std::vector<Tick> ran;
+    q.schedule(0, 10, [&] { ran.push_back(10); });
+    q.schedule(0, 40, [&] { ran.push_back(40); });
+    const std::uint64_t n = q.run(/*maxTicks=*/30);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(ran, std::vector<Tick>{10});
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(ran, (std::vector<Tick>{10, 40}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedEventQueue, WindowTurnoverStressIsDeterministic)
+{
+    // Many tiny windows (lookahead 1 maximizes turnover) with a full
+    // worker pool: exercises the window-boundary handshake where a
+    // worker that drained the last shard races the coordinator's next
+    // window setup.  Generation-checked claims must keep every run
+    // identical to the inline reference.
+    const auto ref = PingHarness::run(4, 1, /*workers=*/1);
+    for (int iter = 0; iter < 25; ++iter) {
+        const auto got = PingHarness::run(4, 1, /*workers=*/0);
+        ASSERT_EQ(got, ref) << "iter=" << iter;
+    }
+}
+
 TEST(ShardedEventQueue, CountsWindowsAndHandoffs)
 {
     ShardedEventQueue::WindowStats stats;
@@ -360,6 +394,25 @@ TEST(SimShardsFlags, ResolveAndDefault)
     EXPECT_EQ(resolveSimShards(5), 5u);
     EXPECT_GE(resolveSimShards(0), 1u); // 0 = hardware threads
     EXPECT_GE(defaultSimShards(), 1u);
+}
+
+TEST(SimShardsFlags, EnvParsingRejectsMalformedValues)
+{
+    struct EnvGuard
+    {
+        ~EnvGuard() { ::unsetenv("CORD_SIM_SHARDS"); }
+    } guard;
+
+    ::setenv("CORD_SIM_SHARDS", "3", 1);
+    EXPECT_EQ(defaultSimShards(), 3u);
+    ::setenv("CORD_SIM_SHARDS", "0", 1); // documented: hardware threads
+    EXPECT_GE(defaultSimShards(), 1u);
+    // Malformed values must fall back to the documented default of 1,
+    // not parse as 0 and silently fan out to every hardware thread.
+    for (const char *bad : {"auto", "8x", "-2", "x8", " 4", "4 "}) {
+        ::setenv("CORD_SIM_SHARDS", bad, 1);
+        EXPECT_EQ(defaultSimShards(), 1u) << "value='" << bad << "'";
+    }
 }
 
 TEST(SimShardsFlags, ComboValidationTable)
@@ -417,6 +470,10 @@ class RecordingDetector : public Detector
     }
 
     void finish() override { finished = true; }
+
+    // Offload is opt-in (Detector defaults to false); this recorder
+    // has no timing feedback, so declare it lane-eligible.
+    bool pureObserver() const override { return true; }
 
     std::vector<MemEvent> accesses;
     std::vector<std::pair<ThreadId, std::uint64_t>> ends;
